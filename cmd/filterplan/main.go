@@ -1,0 +1,167 @@
+// Command filterplan optimizes one filtering-workflow instance: it reads an
+// application from a JSON instance file (or uses the paper's built-in
+// examples), finds a plan minimizing the period or the latency under the
+// chosen communication model, and prints the execution graph, the
+// per-service cost table, the operation list and an ASCII Gantt chart.
+//
+// Usage:
+//
+//	filterplan -in instance.json [-model overlap|inorder|outorder]
+//	           [-objective period|latency]
+//	           [-method auto|greedy-chain|exact-chain|exact-forest|exact-dag|hill-climb]
+//	           [-gantt] [-timeline] [-replay N]
+//	filterplan -demo fig1|b1|b2    (run on a built-in paper instance)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "instance file (JSON)")
+		demo      = flag.String("demo", "", "built-in instance: fig1, b1, b2")
+		modelName = flag.String("model", "overlap", "communication model: overlap, inorder, outorder")
+		objective = flag.String("objective", "period", "objective: period or latency")
+		method    = flag.String("method", "auto", "search method: auto, greedy-chain, exact-chain, exact-forest, exact-dag, hill-climb")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		timeline  = flag.Bool("timeline", false, "print the operation list event by event")
+		replay    = flag.Int("replay", 0, "replay the schedule for N data sets and report throughput")
+	)
+	flag.Parse()
+
+	app, err := loadApp(*inFile, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	meth, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	opts := solve.Options{Method: meth}
+
+	var sol solve.Solution
+	switch *objective {
+	case "period":
+		sol, err = solve.MinPeriod(app, m, opts)
+	case "latency":
+		sol, err = solve.MinLatency(app, m, opts)
+	default:
+		err = fmt.Errorf("unknown objective %q", *objective)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("instance: %d services, model %s, objective %s, method %s\n",
+		app.N(), m, *objective, meth)
+	fmt.Printf("plan: %s\n", sol.Graph)
+	exact := "heuristic (upper bound)"
+	if sol.Exact {
+		exact = "provably optimal"
+	}
+	fmt.Printf("%s = %s (%s)\n", *objective, sol.Value, exact)
+	fmt.Printf("schedule: period λ = %s, latency = %s, model lower bound = %s\n\n",
+		sol.Sched.List.Period(), sol.Sched.List.Latency(), sol.Sched.LowerBound)
+	fmt.Println(sol.Graph.Describe())
+
+	if *timeline {
+		fmt.Println(sol.Sched.List.Timeline())
+	}
+	if *gantt {
+		fmt.Println(sol.Sched.List.Gantt(rat.Zero, 72))
+	}
+	if *replay > 0 {
+		tr, err := sim.Replay(sol.Sched.List, *replay)
+		if err != nil {
+			fatal(err)
+		}
+		last := tr.N() - 1
+		fmt.Printf("replay: %d data sets, first completion at %s, last at %s\n",
+			tr.N(), tr.Done[0], tr.Done[last])
+		if last > 0 {
+			fmt.Printf("replay: steady inter-completion gap %s, per-data-set latency %s\n",
+				tr.Gap(last), tr.Latency(last))
+		}
+	}
+}
+
+func loadApp(inFile, demo string) (*workflow.App, error) {
+	switch {
+	case demo != "":
+		switch strings.ToLower(demo) {
+		case "fig1":
+			return paperex.Fig1App(), nil
+		case "b1":
+			return paperex.B1App(), nil
+		case "b2":
+			return paperex.B2App(), nil
+		default:
+			return nil, fmt.Errorf("unknown demo %q (want fig1, b1 or b2)", demo)
+		}
+	case inFile != "":
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		var app workflow.App
+		if err := json.Unmarshal(data, &app); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", inFile, err)
+		}
+		return &app, nil
+	default:
+		return nil, fmt.Errorf("need -in FILE or -demo NAME (try -demo fig1)")
+	}
+}
+
+func parseModel(s string) (plan.Model, error) {
+	switch strings.ToLower(s) {
+	case "overlap":
+		return plan.Overlap, nil
+	case "inorder":
+		return plan.InOrder, nil
+	case "outorder":
+		return plan.OutOrder, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q", s)
+	}
+}
+
+func parseMethod(s string) (solve.Method, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return solve.Auto, nil
+	case "greedy-chain":
+		return solve.GreedyChain, nil
+	case "exact-chain":
+		return solve.ExactChain, nil
+	case "exact-forest":
+		return solve.ExactForest, nil
+	case "exact-dag":
+		return solve.ExactDAG, nil
+	case "hill-climb":
+		return solve.HillClimb, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "filterplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/solve"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]plan.Model{
+		"overlap": plan.Overlap, "INORDER": plan.InOrder, "OutOrder": plan.OutOrder,
+	}
+	for in, want := range cases {
+		got, err := parseModel(in)
+		if err != nil || got != want {
+			t.Errorf("parseModel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseModel("bogus"); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]solve.Method{
+		"auto": solve.Auto, "greedy-chain": solve.GreedyChain, "exact-chain": solve.ExactChain,
+		"exact-forest": solve.ExactForest, "exact-dag": solve.ExactDAG, "hill-climb": solve.HillClimb,
+	}
+	for in, want := range cases {
+		got, err := parseMethod(in)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestLoadAppDemos(t *testing.T) {
+	for name, n := range map[string]int{"fig1": 5, "b1": 202, "b2": 12} {
+		app, err := loadApp("", name)
+		if err != nil || app.N() != n {
+			t.Errorf("demo %s: N=%v err=%v", name, app, err)
+		}
+	}
+	if _, err := loadApp("", "bogus"); err == nil {
+		t.Error("bogus demo accepted")
+	}
+	if _, err := loadApp("", ""); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestLoadAppFromFile(t *testing.T) {
+	app, err := loadApp(filepath.Join("..", "..", "testdata", "webquery8.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 8 {
+		t.Fatalf("N = %d", app.N())
+	}
+	if !app.HasPrecedence() {
+		t.Fatal("testdata instance should carry precedence constraints")
+	}
+	if _, err := loadApp("no-such-file.json", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadApp(bad, ""); err == nil {
+		t.Error("invalid file accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package core ties the paper's contribution together: a one-stop Planner
+// that maps filtering applications onto homogeneous platforms under the
+// three communication models, and the paper's 12-entry complexity matrix as
+// structured data, with each entry pointing at the algorithm implementing
+// it in this repository.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/oplist"
+	"repro/internal/orchestrate"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+// Planner solves mapping problems end to end with configurable effort.
+type Planner struct {
+	// Solve configures the plan-level search.
+	Solve solve.Options
+}
+
+// NewPlanner returns a planner with default options (automatic method
+// choice: exact enumeration on small instances, heuristics above).
+func NewPlanner() *Planner { return &Planner{} }
+
+// MinimizePeriod returns a full plan (execution graph + operation list)
+// minimizing the period of app under model m.
+func (p *Planner) MinimizePeriod(app *workflow.App, m plan.Model) (solve.Solution, error) {
+	return solve.MinPeriod(app, m, p.Solve)
+}
+
+// MinimizeLatency returns a full plan minimizing the latency of app under
+// model m.
+func (p *Planner) MinimizeLatency(app *workflow.App, m plan.Model) (solve.Solution, error) {
+	return solve.MinLatency(app, m, p.Solve)
+}
+
+// Orchestrate computes an operation list for a fixed execution graph: the
+// paper's "given an execution graph, compute the period/latency" problem.
+func (p *Planner) Orchestrate(eg *plan.ExecGraph, m plan.Model, obj solve.Objective) (orchestrate.Result, error) {
+	w := eg.Weighted()
+	if obj == solve.PeriodObjective {
+		return orchestrate.Period(w, m, p.Solve.Orch)
+	}
+	return orchestrate.Latency(w, m, p.Solve.Orch)
+}
+
+// EvaluatePlan validates an operation list under model m and reports its
+// period and latency.
+func (p *Planner) EvaluatePlan(l *oplist.List, m plan.Model) (period, latency rat.Rat, err error) {
+	if err := l.Validate(m); err != nil {
+		return rat.Zero, rat.Zero, err
+	}
+	return l.Period(), l.Latency(), nil
+}
+
+// Complexity classifies one problem variant of the paper.
+type Complexity struct {
+	// Problem is "orchestration" (operation list for a given execution
+	// graph) or "minimization" (find the whole plan).
+	Problem string
+	// Objective is "period" or "latency".
+	Objective string
+	// Model is the communication model.
+	Model plan.Model
+	// Class is the paper's complexity result.
+	Class string
+	// Reference is the paper's theorem/proposition.
+	Reference string
+	// Implementation names the algorithm in this repository.
+	Implementation string
+}
+
+// Matrix returns the paper's 12 complexity results (§4, §5).
+func Matrix() []Complexity {
+	return []Complexity{
+		{"orchestration", "period", plan.Overlap, "polynomial", "Thm 1 / Prop 1", "orchestrate.OverlapPeriod (Theorem-1 construction)"},
+		{"orchestration", "period", plan.InOrder, "NP-hard", "Thm 1 / Prop 3", "orchestrate.InOrderPeriod (event-graph MCR + order search)"},
+		{"orchestration", "period", plan.OutOrder, "NP-hard", "Thm 1 / Prop 2", "orchestrate.OutOrderPeriod (pipelined event-graph template)"},
+		{"orchestration", "latency", plan.Overlap, "NP-hard", "Thm 3 / Prop 11", "orchestrate.OverlapLatency (bandwidth sharing + order search)"},
+		{"orchestration", "latency", plan.InOrder, "NP-hard", "Thm 3 / Prop 10", "orchestrate.OnePortLatency (exhaustive/heuristic orders)"},
+		{"orchestration", "latency", plan.OutOrder, "NP-hard", "Thm 3 / Prop 9", "orchestrate.OnePortLatency (exhaustive/heuristic orders)"},
+		{"minimization", "period", plan.Overlap, "NP-hard", "Thm 2 / Prop 5", "solve.MinPeriod (forest enumeration / hill climbing)"},
+		{"minimization", "period", plan.InOrder, "NP-hard", "Thm 2 / Prop 7", "solve.MinPeriod (forest enumeration / hill climbing)"},
+		{"minimization", "period", plan.OutOrder, "NP-hard", "Thm 2 / Prop 6", "solve.MinPeriod (forest enumeration / hill climbing)"},
+		{"minimization", "latency", plan.Overlap, "NP-hard", "Thm 4 / Prop 15", "solve.MinLatency (DAG enumeration / hill climbing)"},
+		{"minimization", "latency", plan.InOrder, "NP-hard", "Thm 4 / Prop 14", "solve.MinLatency (DAG enumeration / hill climbing)"},
+		{"minimization", "latency", plan.OutOrder, "NP-hard", "Thm 4 / Prop 13", "solve.MinLatency (DAG enumeration / hill climbing)"},
+	}
+}
+
+// PolynomialCases lists the paper's tractable special cases and their
+// implementations.
+func PolynomialCases() []Complexity {
+	return []Complexity{
+		{"orchestration", "period", plan.Overlap, "polynomial", "Thm 1", "orchestrate.OverlapPeriod"},
+		{"orchestration (chain plans)", "period", plan.InOrder, "polynomial", "Prop 8", "solve.GreedyChainOrder + orchestrate.InOrderPeriod"},
+		{"orchestration (tree plans)", "latency", plan.InOrder, "polynomial", "Prop 12 / Alg 1", "orchestrate.TreeLatency"},
+		{"minimization (chain plans)", "period", plan.Overlap, "polynomial", "Prop 8", "solve.GreedyChainOrder"},
+		{"minimization (chain plans)", "latency", plan.InOrder, "polynomial", "Prop 16", "solve.GreedyLatencyChainOrder"},
+	}
+}
+
+// String renders one matrix entry.
+func (c Complexity) String() string {
+	return fmt.Sprintf("%s/%s under %s: %s (%s) — %s",
+		c.Problem, c.Objective, c.Model, c.Class, c.Reference, c.Implementation)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/solve"
+)
+
+func TestPlannerEndToEnd(t *testing.T) {
+	p := NewPlanner()
+	app := paperex.Fig1App()
+	for _, m := range plan.Models {
+		sol, err := p.MinimizePeriod(app, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := sol.Sched.List.Validate(m); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", m, err)
+		}
+		// Five uniform unit-selectivity services: the parallel plan gives
+		// the global optimum (cost 4 dominates); sanity-check the value.
+		if sol.Value.Greater(rat.I(21)) {
+			t.Fatalf("%s: period %s absurd", m, sol.Value)
+		}
+	}
+	sol, err := p.MinimizeLatency(app, plan.InOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel plan has latency 1+4+1 = 6; nothing can beat computing
+	// at least one service plus its I/O.
+	if !sol.Value.Equal(rat.I(6)) {
+		t.Fatalf("latency optimum = %s, want 6", sol.Value)
+	}
+}
+
+func TestPlannerOrchestrate(t *testing.T) {
+	p := NewPlanner()
+	eg := paperex.Fig1Graph()
+	res, err := p.Orchestrate(eg, plan.InOrder, solve.PeriodObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(rat.New(23, 3)) {
+		t.Fatalf("INORDER period = %s, want 23/3", res.Value)
+	}
+	lat, err := p.Orchestrate(eg, plan.OutOrder, solve.LatencyObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Value.Equal(rat.I(21)) {
+		t.Fatalf("latency = %s, want 21", lat.Value)
+	}
+}
+
+func TestPlannerEvaluatePlan(t *testing.T) {
+	p := NewPlanner()
+	eg := paperex.Fig1Graph()
+	res, err := p.Orchestrate(eg, plan.Overlap, solve.PeriodObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, latency, err := p.EvaluatePlan(res.List, plan.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !period.Equal(rat.I(4)) || latency.Less(period) {
+		t.Fatalf("period=%s latency=%s", period, latency)
+	}
+	// The Theorem-1 list is not INORDER-valid (stretched comms).
+	if _, _, err := p.EvaluatePlan(res.List, plan.InOrder); err == nil {
+		t.Fatal("stretched multi-port list must fail one-port validation")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	if len(m) != 12 {
+		t.Fatalf("matrix has %d entries, want 12", len(m))
+	}
+	polys, nps := 0, 0
+	for _, c := range m {
+		switch c.Class {
+		case "polynomial":
+			polys++
+		case "NP-hard":
+			nps++
+		default:
+			t.Fatalf("unknown class %q", c.Class)
+		}
+		if c.Implementation == "" || c.Reference == "" {
+			t.Fatal("entry missing implementation or reference")
+		}
+	}
+	// The paper's headline: 11 of the 12 variants are NP-hard; only
+	// OVERLAP period orchestration is polynomial.
+	if polys != 1 || nps != 11 {
+		t.Fatalf("polys=%d nps=%d, want 1/11", polys, nps)
+	}
+	if len(PolynomialCases()) == 0 {
+		t.Fatal("no polynomial cases listed")
+	}
+	if s := m[0].String(); !strings.Contains(s, "OVERLAP") || !strings.Contains(s, "polynomial") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,405 @@
+// Package dag provides the directed-acyclic-graph machinery shared by
+// execution graphs and precedence constraints: topological orders, ancestor
+// sets, transitive closure/reduction, and the structural predicates (chain,
+// forest, tree) the paper's polynomial special cases rely on.
+//
+// Nodes are dense integers [0, N). Graphs are mutable while being built and
+// are then treated as read-only by the analysis helpers; helpers that need
+// acyclicity return an error when the graph has a cycle.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// ErrCycle is returned by analyses that require a DAG when the graph
+// contains a directed cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// Graph is a directed graph over nodes 0..N-1 with O(1) edge lookup and
+// sorted adjacency lists.
+type Graph struct {
+	n    int
+	succ [][]int
+	pred [][]int
+	has  map[[2]int]bool
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("dag: negative node count")
+	}
+	return &Graph{
+		n:    n,
+		succ: make([][]int, n),
+		pred: make([][]int, n),
+		has:  make(map[[2]int]bool),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+func (g *Graph) checkNode(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the edge u->v, keeping adjacency lists sorted. Inserting
+// an existing edge is a no-op. Self-loops are rejected with a panic since no
+// execution graph may contain one.
+func (g *Graph) AddEdge(u, v int) {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v {
+		panic(fmt.Sprintf("dag: self-loop on node %d", u))
+	}
+	if g.has[[2]int{u, v}] {
+		return
+	}
+	g.has[[2]int{u, v}] = true
+	g.succ[u] = insertSorted(g.succ[u], v)
+	g.pred[v] = insertSorted(g.pred[v], u)
+}
+
+// RemoveEdge deletes the edge u->v if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.has[[2]int{u, v}] {
+		return
+	}
+	delete(g.has, [2]int{u, v})
+	g.succ[u] = removeSorted(g.succ[u], v)
+	g.pred[v] = removeSorted(g.pred[v], u)
+}
+
+// HasEdge reports whether the edge u->v is present.
+func (g *Graph) HasEdge(u, v int) bool { return g.has[[2]int{u, v}] }
+
+// Succ returns the sorted direct successors of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Succ(v int) []int { g.checkNode(v); return g.succ[v] }
+
+// Pred returns the sorted direct predecessors of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Pred(v int) []int { g.checkNode(v); return g.pred[v] }
+
+// OutDegree returns the number of direct successors of v.
+func (g *Graph) OutDegree(v int) int { g.checkNode(v); return len(g.succ[v]) }
+
+// InDegree returns the number of direct predecessors of v.
+func (g *Graph) InDegree(v int) int { g.checkNode(v); return len(g.pred[v]) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return len(g.has) }
+
+// Edges returns all edges as [2]int{u, v} pairs in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.has))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.succ[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.has {
+		c.AddEdge(e[0], e[1])
+	}
+	return c
+}
+
+// Roots returns the nodes with no predecessors, in increasing order.
+func (g *Graph) Roots() []int {
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if len(g.pred[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Leaves returns the nodes with no successors, in increasing order.
+func (g *Graph) Leaves() []int {
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if len(g.succ[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a topological order of the nodes (Kahn's algorithm with
+// a deterministic smallest-node-first tie break), or ErrCycle.
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.pred[v])
+	}
+	// A sorted frontier keeps the order deterministic across runs.
+	frontier := &intHeap{}
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			frontier.push(v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for frontier.len() > 0 {
+		v := frontier.pop()
+		order = append(order, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier.push(w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Ancestors returns, for every node, the set of its strict ancestors
+// (preds, preds of preds, ...). Returns ErrCycle on cyclic graphs.
+func (g *Graph) Ancestors() ([]*bitset.Set, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	anc := make([]*bitset.Set, g.n)
+	for _, v := range order {
+		s := bitset.New(g.n)
+		for _, p := range g.pred[v] {
+			s.Add(p)
+			s.UnionWith(anc[p])
+		}
+		anc[v] = s
+	}
+	return anc, nil
+}
+
+// Descendants returns, for every node, the set of its strict descendants.
+// Returns ErrCycle on cyclic graphs.
+func (g *Graph) Descendants() ([]*bitset.Set, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	desc := make([]*bitset.Set, g.n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		s := bitset.New(g.n)
+		for _, w := range g.succ[v] {
+			s.Add(w)
+			s.UnionWith(desc[w])
+		}
+		desc[v] = s
+	}
+	return desc, nil
+}
+
+// TransitiveClosure returns a new graph with an edge u->v whenever v is
+// reachable from u by a non-empty path. Returns ErrCycle on cyclic graphs.
+func (g *Graph) TransitiveClosure() (*Graph, error) {
+	desc, err := g.Descendants()
+	if err != nil {
+		return nil, err
+	}
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		desc[u].ForEach(func(v int) { c.AddEdge(u, v) })
+	}
+	return c, nil
+}
+
+// TransitiveReduction returns the unique minimal graph with the same
+// transitive closure as g (g must be a DAG).
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	desc, err := g.Descendants()
+	if err != nil {
+		return nil, err
+	}
+	r := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.succ[u] {
+			// u->v is redundant iff some other successor of u reaches v.
+			redundant := false
+			for _, w := range g.succ[u] {
+				if w != v && desc[w].Has(v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				r.AddEdge(u, v)
+			}
+		}
+	}
+	return r, nil
+}
+
+// ClosureContains reports whether every edge of h is implied by g, i.e.
+// h's edges are a subset of g's transitive closure. Both graphs must have
+// the same node count; g must be a DAG.
+func (g *Graph) ClosureContains(h *Graph) (bool, error) {
+	if g.n != h.n {
+		return false, fmt.Errorf("dag: node count mismatch %d != %d", g.n, h.n)
+	}
+	desc, err := g.Descendants()
+	if err != nil {
+		return false, err
+	}
+	for _, e := range h.Edges() {
+		if !desc[e[0]].Has(e[1]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsForest reports whether every node has at most one direct predecessor
+// and the graph is acyclic: a forest of out-trees, the structure Prop. 4 of
+// the paper proves sufficient for optimal MINPERIOD plans.
+func (g *Graph) IsForest() bool {
+	for v := 0; v < g.n; v++ {
+		if len(g.pred[v]) > 1 {
+			return false
+		}
+	}
+	return g.IsAcyclic()
+}
+
+// IsChain reports whether the graph is one linear chain covering all nodes:
+// every node has at most one predecessor and one successor, there is exactly
+// one root, and all nodes are reachable along the chain.
+func (g *Graph) IsChain() bool {
+	if g.n == 0 {
+		return true
+	}
+	roots := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.pred[v]) > 1 || len(g.succ[v]) > 1 {
+			return false
+		}
+		if len(g.pred[v]) == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return false
+	}
+	// Walk the chain from the root; it must visit every node.
+	v := g.Roots()[0]
+	seen := 1
+	for len(g.succ[v]) == 1 {
+		v = g.succ[v][0]
+		seen++
+		if seen > g.n {
+			return false // cycle guard
+		}
+	}
+	return seen == g.n
+}
+
+// IsTree reports whether g is a single out-tree covering all nodes.
+func (g *Graph) IsTree() bool {
+	return g.IsForest() && len(g.Roots()) == 1 && g.EdgeCount() == g.n-1
+}
+
+// ChainOrder returns the node order along the chain, or an error if the
+// graph is not a chain.
+func (g *Graph) ChainOrder() ([]int, error) {
+	if !g.IsChain() {
+		return nil, errors.New("dag: graph is not a chain")
+	}
+	if g.n == 0 {
+		return nil, nil
+	}
+	order := make([]int, 0, g.n)
+	v := g.Roots()[0]
+	order = append(order, v)
+	for len(g.succ[v]) == 1 {
+		v = g.succ[v][0]
+		order = append(order, v)
+	}
+	return order, nil
+}
+
+// --- helpers ---
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// intHeap is a tiny binary min-heap; using container/heap would force an
+// interface boxing per push on this hot path.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(v int) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,458 @@
+// Package eventgraph implements timed event graphs and the exact maximum
+// cycle ratio (MCR) computation at the core of one-port period analysis.
+//
+// An event graph has one node per operation and constraint edges
+// u -> w carrying a delay d and a token count h, meaning
+//
+//	begin(w, n+h) ≥ begin(u, n) + d   for all data sets n,
+//
+// which for a cyclic schedule of period λ collapses to
+// begin(w) ≥ begin(u) + d − λ·h. Such a system is feasible iff λ is at
+// least the maximum over all cycles of Σd/Σh (every cycle must carry at
+// least one token); the optimum is attained and a valid earliest schedule
+// is the least fixpoint of the longest-path relaxation at λ = MCR.
+//
+// The MCR is computed exactly (rational arithmetic) with Howard's policy
+// iteration, cross-checked in tests against brute-force simple-cycle
+// enumeration.
+package eventgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// ErrZeroTokenCycle is returned when the graph has a cycle whose edges
+// carry no tokens: such a system deadlocks (circular wait within a single
+// data set) and has no valid schedule for any period.
+var ErrZeroTokenCycle = errors.New("eventgraph: cycle with zero tokens (deadlock)")
+
+// ErrInfeasible is returned by Potentials when the requested period is
+// smaller than the maximum cycle ratio.
+var ErrInfeasible = errors.New("eventgraph: period below maximum cycle ratio")
+
+// ErrNoCycle is returned by MaximumCycleRatio when the graph is acyclic:
+// any period satisfies the constraints, there is no cycle-imposed bound.
+var ErrNoCycle = errors.New("eventgraph: graph has no cycle")
+
+// Edge is one precedence constraint between operations.
+type Edge struct {
+	From, To int
+	Delay    rat.Rat
+	Tokens   int
+}
+
+// Graph is a timed event graph. Parallel edges and self-loops are allowed
+// (a self-loop with one token encodes "the operation must fit in the
+// period").
+type Graph struct {
+	n     int
+	edges []Edge
+	out   [][]int // edge indices by source node
+	in    [][]int // edge indices by target node
+}
+
+// New returns an empty event graph with n operation nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("eventgraph: negative node count")
+	}
+	return &Graph{n: n, out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Edges returns all edges; the slice is owned by the graph.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts the constraint begin(to, n+tokens) ≥ begin(from, n)+delay.
+// Delays must be non-negative and token counts ≥ 0.
+func (g *Graph) AddEdge(from, to int, delay rat.Rat, tokens int) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("eventgraph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if delay.Sign() < 0 {
+		panic(fmt.Sprintf("eventgraph: negative delay %s", delay))
+	}
+	if tokens < 0 {
+		panic(fmt.Sprintf("eventgraph: negative token count %d", tokens))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Delay: delay, Tokens: tokens})
+	g.out[from] = append(g.out[from], idx)
+	g.in[to] = append(g.in[to], idx)
+}
+
+// checkZeroTokenAcyclic verifies that the subgraph of zero-token edges is
+// acyclic; otherwise the system deadlocks.
+func (g *Graph) checkZeroTokenAcyclic() error {
+	color := make([]int, g.n) // 0 white, 1 grey, 2 black
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		color[v] = 1
+		for _, ei := range g.out[v] {
+			e := g.edges[ei]
+			if e.Tokens != 0 {
+				continue
+			}
+			switch color[e.To] {
+			case 1:
+				return false
+			case 0:
+				if !visit(e.To) {
+					return false
+				}
+			}
+		}
+		color[v] = 2
+		return true
+	}
+	for v := 0; v < g.n; v++ {
+		if color[v] == 0 && !visit(v) {
+			return ErrZeroTokenCycle
+		}
+	}
+	return nil
+}
+
+// sccs returns the strongly connected components (Tarjan), smallest-index
+// first within each component, components in reverse topological order.
+func (g *Graph) sccs() [][]int {
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range g.out[v] {
+			w := g.edges[ei].To
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if index[v] == -1 {
+			strong(v)
+		}
+	}
+	return comps
+}
+
+// MCRResult carries the outcome of MaximumCycleRatio.
+type MCRResult struct {
+	// Ratio is the maximum cycle ratio Σdelay/Σtokens.
+	Ratio rat.Rat
+	// CriticalCycle lists edge indices of one cycle attaining the ratio,
+	// in traversal order.
+	CriticalCycle []int
+}
+
+// MaximumCycleRatio computes the exact maximum over all cycles of
+// Σdelay/Σtokens, the smallest feasible period of the encoded cyclic
+// scheduling problem. It returns ErrNoCycle for acyclic graphs and
+// ErrZeroTokenCycle when a deadlock cycle exists.
+func (g *Graph) MaximumCycleRatio() (MCRResult, error) {
+	if err := g.checkZeroTokenAcyclic(); err != nil {
+		return MCRResult{}, err
+	}
+	best := MCRResult{Ratio: rat.Zero}
+	found := false
+	for _, comp := range g.sccs() {
+		res, ok, err := g.howardSCC(comp)
+		if err != nil {
+			return MCRResult{}, err
+		}
+		if ok && (!found || res.Ratio.Greater(best.Ratio)) {
+			best = res
+			found = true
+		}
+	}
+	if !found {
+		return MCRResult{}, ErrNoCycle
+	}
+	return best, nil
+}
+
+// howardSCC runs Howard's policy iteration (maximum version) on one
+// strongly connected component. ok is false when the component contains no
+// cycle (single node without self-loop).
+func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
+	// Collect the edges internal to the component.
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	local := make([]int, 0) // edge indices
+	hasOut := make(map[int]bool)
+	for _, v := range comp {
+		for _, ei := range g.out[v] {
+			if inComp[g.edges[ei].To] {
+				local = append(local, ei)
+				hasOut[v] = true
+			}
+		}
+	}
+	if len(local) == 0 {
+		return MCRResult{}, false, nil
+	}
+	if len(comp) > 1 {
+		// In a nontrivial SCC every node has an internal out-edge.
+		for _, v := range comp {
+			if !hasOut[v] {
+				return MCRResult{}, false, fmt.Errorf("eventgraph: internal error: SCC node %d without out-edge", v)
+			}
+		}
+	} else if !hasOut[comp[0]] {
+		return MCRResult{}, false, nil // single node, no self-loop
+	}
+
+	// policy[v] = chosen out-edge index (into g.edges).
+	policy := make(map[int]int, len(comp))
+	for _, v := range comp {
+		for _, ei := range g.out[v] {
+			if inComp[g.edges[ei].To] {
+				policy[v] = ei
+				break
+			}
+		}
+	}
+
+	eta := make(map[int]rat.Rat, len(comp))   // cycle ratio reached by v
+	val := make(map[int]rat.Rat, len(comp))   // bias value of v
+	cycleOf := make(map[int][]int, len(comp)) // representative -> cycle edge list
+
+	evaluate := func() error {
+		for k := range eta {
+			delete(eta, k)
+		}
+		for k := range val {
+			delete(val, k)
+		}
+		for k := range cycleOf {
+			delete(cycleOf, k)
+		}
+		state := make(map[int]int, len(comp)) // 0/absent unvisited, 1 on path, 2 done
+		var stackOrder []int
+		for _, start := range comp {
+			if state[start] != 0 {
+				continue
+			}
+			// Walk the functional graph until reaching a visited node.
+			stackOrder = stackOrder[:0]
+			v := start
+			for state[v] == 0 {
+				state[v] = 1
+				stackOrder = append(stackOrder, v)
+				v = g.edges[policy[v]].To
+			}
+			if state[v] == 1 {
+				// Found a new policy cycle; v is its entry point.
+				var cyc []int
+				i := len(stackOrder) - 1
+				for stackOrder[i] != v {
+					i--
+				}
+				cycNodes := stackOrder[i:]
+				sumD, sumH := rat.Zero, 0
+				for _, u := range cycNodes {
+					e := g.edges[policy[u]]
+					sumD = sumD.Add(e.Delay)
+					sumH += e.Tokens
+					cyc = append(cyc, policy[u])
+				}
+				if sumH == 0 {
+					return ErrZeroTokenCycle
+				}
+				ratio := sumD.Div(rat.I(int64(sumH)))
+				// Values around the cycle: anchor v at 0 and walk the cycle
+				// list backwards so each node's successor value is known.
+				eta[v] = ratio
+				val[v] = rat.Zero
+				cycleOf[v] = cyc
+				for j := len(cycNodes) - 1; j >= 1; j-- {
+					u := cycNodes[j]
+					e := g.edges[policy[u]]
+					eta[u] = ratio
+					val[u] = e.Delay.Sub(ratio.MulInt(int64(e.Tokens))).Add(val[e.To])
+				}
+			}
+			// Unwind the tail: nodes leading into the (now evaluated) cycle.
+			for j := len(stackOrder) - 1; j >= 0; j-- {
+				u := stackOrder[j]
+				if _, done := eta[u]; !done {
+					e := g.edges[policy[u]]
+					eta[u] = eta[e.To]
+					val[u] = e.Delay.Sub(eta[u].MulInt(int64(e.Tokens))).Add(val[e.To])
+				}
+				state[u] = 2
+			}
+		}
+		return nil
+	}
+
+	const maxIters = 100000
+	for iter := 0; iter < maxIters; iter++ {
+		if err := evaluate(); err != nil {
+			return MCRResult{}, false, err
+		}
+		// Phase 1: ratio improvements.
+		changed := false
+		for _, ei := range local {
+			e := g.edges[ei]
+			if eta[e.To].Greater(eta[e.From]) {
+				policy[e.From] = ei
+				changed = true
+			}
+		}
+		if changed {
+			continue
+		}
+		// Phase 2: value improvements at equal ratio.
+		for _, ei := range local {
+			e := g.edges[ei]
+			if !eta[e.To].Equal(eta[e.From]) {
+				continue
+			}
+			cand := e.Delay.Sub(eta[e.From].MulInt(int64(e.Tokens))).Add(val[e.To])
+			if cand.Greater(val[e.From]) {
+				policy[e.From] = ei
+				changed = true
+			}
+		}
+		if !changed {
+			// Converged: the best policy cycle carries the MCR.
+			var best MCRResult
+			first := true
+			for v, cyc := range cycleOf {
+				if first || eta[v].Greater(best.Ratio) {
+					best = MCRResult{Ratio: eta[v], CriticalCycle: cyc}
+					first = false
+				}
+			}
+			if first {
+				return MCRResult{}, false, fmt.Errorf("eventgraph: internal error: converged without cycle")
+			}
+			return best, true, nil
+		}
+	}
+	return MCRResult{}, false, fmt.Errorf("eventgraph: Howard iteration did not converge")
+}
+
+// Potentials returns the earliest begin times for the cyclic schedule of
+// period lambda: the least non-negative fixpoint of
+// begin(w) ≥ begin(u) + delay − lambda·tokens. It returns ErrInfeasible if
+// lambda is below the maximum cycle ratio and ErrZeroTokenCycle on
+// deadlock.
+func (g *Graph) Potentials(lambda rat.Rat) ([]rat.Rat, error) {
+	if err := g.checkZeroTokenAcyclic(); err != nil {
+		return nil, err
+	}
+	pi := make([]rat.Rat, g.n)
+	// Bellman-Ford longest path; n rounds suffice when no positive cycle.
+	for round := 0; round <= g.n; round++ {
+		changed := false
+		for _, e := range g.edges {
+			bound := pi[e.From].Add(e.Delay).Sub(lambda.MulInt(int64(e.Tokens)))
+			if bound.Greater(pi[e.To]) {
+				pi[e.To] = bound
+				changed = true
+			}
+		}
+		if !changed {
+			return pi, nil
+		}
+	}
+	return nil, ErrInfeasible
+}
+
+// FeasiblePeriod reports whether the given period admits a schedule.
+func (g *Graph) FeasiblePeriod(lambda rat.Rat) bool {
+	_, err := g.Potentials(lambda)
+	return err == nil
+}
+
+// BruteForceMCR enumerates all simple cycles (Johnson-style DFS) and
+// returns the maximum ratio; exponential, used to cross-check Howard in
+// tests and usable on small graphs. Self-loops count as simple cycles.
+func (g *Graph) BruteForceMCR() (MCRResult, error) {
+	if err := g.checkZeroTokenAcyclic(); err != nil {
+		return MCRResult{}, err
+	}
+	best := MCRResult{}
+	found := false
+	onPath := make([]bool, g.n)
+	var path []int // edge indices
+	var dfs func(start, v int, sumD rat.Rat, sumH int)
+	dfs = func(start, v int, sumD rat.Rat, sumH int) {
+		for _, ei := range g.out[v] {
+			e := g.edges[ei]
+			// Only consider cycles whose smallest node is start, to avoid
+			// revisiting each cycle once per rotation.
+			if e.To < start {
+				continue
+			}
+			if e.To == start {
+				d := sumD.Add(e.Delay)
+				h := sumH + e.Tokens
+				if h > 0 {
+					ratio := d.Div(rat.I(int64(h)))
+					if !found || ratio.Greater(best.Ratio) {
+						cyc := append(append([]int(nil), path...), ei)
+						best = MCRResult{Ratio: ratio, CriticalCycle: cyc}
+						found = true
+					}
+				}
+				continue
+			}
+			if onPath[e.To] {
+				continue
+			}
+			onPath[e.To] = true
+			path = append(path, ei)
+			dfs(start, e.To, sumD.Add(e.Delay), sumH+e.Tokens)
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		onPath[v] = true
+		dfs(v, v, rat.Zero, 0)
+		onPath[v] = false
+	}
+	if !found {
+		return MCRResult{}, ErrNoCycle
+	}
+	return best, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsPass runs the full harness at smoke budget and requires
+// every paper claim to reproduce (the Prop 17 discrepancy is recorded in
+// notes, not in OK).
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	for _, r := range All(1) {
+		if r.Table == nil || r.ID == "" || r.Title == "" {
+			t.Fatalf("%s: malformed report", r.ID)
+		}
+		if !r.OK {
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, r.Table.String())
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := E1Fig1()
+	if r.Table.String() == "" || r.Table.Markdown() == "" {
+		t.Fatal("empty render")
+	}
+	if !r.OK {
+		t.Fatal("E1 must reproduce")
+	}
+}

@@ -1,0 +1,106 @@
+package oplist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/rat"
+)
+
+// Gantt renders an ASCII timeline of the schedule, one row per server,
+// covering [0, horizon) with the given number of character columns.
+// Computations print as '#', receives as 'v', sends as '^'; overlapping
+// multi-port activity of the same kind shares the cell, and mixed activity
+// prints as '*'. Intended for human inspection in the CLI and examples.
+func (l *List) Gantt(horizon rat.Rat, cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if horizon.Sign() <= 0 {
+		horizon = rat.Max(l.Latency(), l.lambda)
+	}
+	w := l.w
+	var b strings.Builder
+	scale := horizon.Div(rat.I(int64(cols)))
+	fmt.Fprintf(&b, "%-12s 0%s%s\n", "server", strings.Repeat(" ", cols-len(horizon.Decimal(1))), horizon.Decimal(1))
+	type span struct {
+		from, to rat.Rat
+		ch       byte
+	}
+	for v := 0; v < w.N(); v++ {
+		spans := []span{{l.calcBegin[v], l.CalcEnd(v), '#'}}
+		for _, idx := range w.InEdges(v) {
+			spans = append(spans, span{l.commBegin[idx], l.commEnd[idx], 'v'})
+		}
+		for _, idx := range w.OutEdges(v) {
+			spans = append(spans, span{l.commBegin[idx], l.commEnd[idx], '^'})
+		}
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range spans {
+			if s.to.Equal(s.from) {
+				continue
+			}
+			for c := 0; c < cols; c++ {
+				cellStart := scale.MulInt(int64(c))
+				cellEnd := scale.MulInt(int64(c + 1))
+				if s.from.Less(cellEnd) && cellStart.Less(s.to) {
+					switch {
+					case row[c] == '.':
+						row[c] = s.ch
+					case row[c] != s.ch:
+						row[c] = '*'
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-12s |%s|\n", w.Name(v), row)
+	}
+	return b.String()
+}
+
+// Timeline returns a textual event-by-event description of the schedule
+// for data set 0, sorted by begin time: the operation list in the paper's
+// presentation style.
+func (l *List) Timeline() string {
+	w := l.w
+	type ev struct {
+		begin, end rat.Rat
+		what       string
+	}
+	var evs []ev
+	for v := 0; v < w.N(); v++ {
+		evs = append(evs, ev{l.calcBegin[v], l.CalcEnd(v), fmt.Sprintf("compute %s", w.Name(v))})
+	}
+	for idx, e := range w.Edges() {
+		from, to := endpointName(w, e.From), endpointName(w, e.To)
+		evs = append(evs, ev{l.commBegin[idx], l.commEnd[idx], fmt.Sprintf("comm %s -> %s", from, to)})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if !evs[i].begin.Equal(evs[j].begin) {
+			return evs[i].begin.Less(evs[j].begin)
+		}
+		return evs[i].end.Less(evs[j].end)
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "period λ = %s, latency = %s\n", l.lambda, l.Latency())
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  [%8s, %8s) %s\n", e.begin, e.end, e.what)
+	}
+	return b.String()
+}
+
+func endpointName(w *plan.Weighted, v int) string {
+	switch {
+	case v == plan.In:
+		return "in"
+	case v == plan.Out:
+		return "out"
+	default:
+		return w.Name(v)
+	}
+}

@@ -1,0 +1,64 @@
+package oplist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestGanttRendersAllServers(t *testing.T) {
+	l := fig1Latency(t)
+	out := l.Gantt(rat.I(21), 42)
+	for _, name := range []string{"C1", "C2", "C3", "C4", "C5"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing server %s in:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "v") || !strings.Contains(out, "^") {
+		t.Fatalf("missing activity glyphs in:\n%s", out)
+	}
+	// C1 computes during [1,5) of 21: roughly columns 2..10 of 42.
+	lines := strings.Split(out, "\n")
+	var c1 string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "C1") {
+			c1 = ln
+		}
+	}
+	if !strings.Contains(c1, "####") {
+		t.Fatalf("C1 row lacks computation block: %q", c1)
+	}
+}
+
+func TestGanttDefaults(t *testing.T) {
+	l := fig1Latency(t)
+	// Zero horizon and tiny width fall back to sane defaults.
+	out := l.Gantt(rat.Zero, 1)
+	if !strings.Contains(out, "C5") {
+		t.Fatal("default render broken")
+	}
+}
+
+func TestTimelineSortedAndComplete(t *testing.T) {
+	l := fig1Latency(t)
+	out := l.Timeline()
+	if !strings.Contains(out, "period λ = 21, latency = 21") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	// All 5 computations and 7 communications present.
+	if got := strings.Count(out, "compute "); got != 5 {
+		t.Fatalf("%d compute lines, want 5", got)
+	}
+	if got := strings.Count(out, "comm "); got != 7 {
+		t.Fatalf("%d comm lines, want 7", got)
+	}
+	if !strings.Contains(out, "comm in -> C1") || !strings.Contains(out, "comm C5 -> out") {
+		t.Fatalf("virtual endpoints missing:\n%s", out)
+	}
+	// The input comm at time 0 must be the first event line.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "comm in -> C1") {
+		t.Fatalf("first event is %q", lines[1])
+	}
+}

@@ -1,0 +1,233 @@
+package orchestrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventgraph"
+	"repro/internal/oplist"
+	"repro/internal/plan"
+	"repro/internal/rat"
+)
+
+// OnePortLatencyWithOrders computes the single-data-set schedule induced by
+// fixed per-server orders under one-port communications: the begin times
+// are the longest paths of the order-induced DAG. It fails when the orders
+// deadlock (cross-server circular wait).
+func OnePortLatencyWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, error) {
+	g := eventgraph.New(opCount(w))
+	for v := 0; v < w.N(); v++ {
+		seq := serverSequence(w, orders, v)
+		for i := 0; i+1 < len(seq); i++ {
+			g.AddEdge(seq[i], seq[i+1], opDur(w, seq[i]), 0)
+		}
+	}
+	pi, err := g.Potentials(rat.One) // tokens are all 0: period-independent
+	if err != nil {
+		return nil, fmt.Errorf("orchestrate: orders deadlock: %w", err)
+	}
+	l := listFromTimes(w, rat.One, pi)
+	lat := l.Latency()
+	if lat.Sign() == 0 {
+		lat = rat.One
+	}
+	l.SetLambda(lat)
+	return l, nil
+}
+
+// OnePortLatency searches per-server orders for the minimal one-port
+// latency. The search is exact (over all schedules, since any valid
+// one-port single-data-set schedule induces such orders) when the
+// combination count fits the exhaustive budget. Applies to both INORDER
+// and OUTORDER, which coincide for latency (paper §2.2).
+func OnePortLatency(w *plan.Weighted, opts Options) (Result, error) {
+	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
+		l, err := OnePortLatencyWithOrders(w, o)
+		if err != nil {
+			return rat.Zero, nil, err
+		}
+		return l.Latency(), l, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Value = res.List.Latency()
+	res.LowerBound = w.LatencyPathBound()
+	for _, m := range plan.Models {
+		if verr := res.List.Validate(m); verr != nil {
+			return Result{}, fmt.Errorf("orchestrate: one-port latency schedule invalid under %s: %w", m, verr)
+		}
+	}
+	return res, nil
+}
+
+// OverlapLatencyShared builds the bandwidth-sharing multi-port schedule:
+// every communication leaving a node starts as soon as the node finishes
+// computing and is stretched to duration max(volume, Cout(sender),
+// Cin(receiver)). The per-port ratio sums are then ≤ 1 by construction
+// (each ratio is at most vol/Cout resp. vol/Cin), so the schedule is always
+// valid; on wide bipartite graphs such as the paper's B.2 example it beats
+// every one-port schedule.
+func OverlapLatencyShared(w *plan.Weighted) (*oplist.List, error) {
+	l := oplist.New(w, rat.One)
+	commEnd := make([]rat.Rat, len(w.Edges()))
+	// Input communications: start at 0.
+	for _, idx := range entryInEdges(w) {
+		e := w.Edge(idx)
+		dur := rat.Max(w.Vol(idx), w.Cin(e.To))
+		l.SetCommStretched(idx, rat.Zero, dur)
+		commEnd[idx] = dur
+	}
+	for _, v := range w.Topo() {
+		begin := rat.Zero
+		for _, idx := range w.InEdges(v) {
+			begin = rat.Max(begin, commEnd[idx])
+		}
+		l.SetCalc(v, begin)
+		done := begin.Add(w.Comp(v))
+		for _, idx := range w.OutEdges(v) {
+			e := w.Edge(idx)
+			dur := rat.Max(w.Vol(idx), w.Cout(v))
+			if e.To >= 0 {
+				dur = rat.Max(dur, w.Cin(e.To))
+			}
+			l.SetCommStretched(idx, done, done.Add(dur))
+			commEnd[idx] = done.Add(dur)
+		}
+	}
+	lat := l.Latency()
+	if lat.Sign() == 0 {
+		lat = rat.One
+	}
+	l.SetLambda(lat)
+	if err := l.Validate(plan.Overlap); err != nil {
+		return nil, fmt.Errorf("orchestrate: shared-bandwidth construction invalid: %w", err)
+	}
+	return l, nil
+}
+
+// OverlapLatency returns the better of the bandwidth-sharing multi-port
+// schedule and the best one-port schedule (one-port lists are OVERLAP-valid
+// as-is). Computing the true multi-port optimum is NP-hard (paper Prop. 11).
+func OverlapLatency(w *plan.Weighted, opts Options) (Result, error) {
+	onePort, opErr := OnePortLatency(w, opts)
+	shared, shErr := OverlapLatencyShared(w)
+	switch {
+	case opErr != nil && shErr != nil:
+		return Result{}, fmt.Errorf("orchestrate: no overlap latency schedule (one-port: %v, shared: %v)", opErr, shErr)
+	case shErr != nil:
+		return onePort, nil
+	case opErr != nil:
+		return Result{List: shared, Value: shared.Latency(), LowerBound: w.LatencyPathBound()}, nil
+	}
+	if shared.Latency().Less(onePort.Value) {
+		return Result{List: shared, Value: shared.Latency(), LowerBound: w.LatencyPathBound()}, nil
+	}
+	return onePort, nil
+}
+
+// TreeLatency computes the optimal one-port latency schedule for a
+// forest-shaped weighted plan (every node has exactly one incoming
+// communication): Algorithm 1 of the paper, generalized to arbitrary
+// per-edge volumes. Children are fed in non-increasing order of their
+// remaining completion time, which an exchange argument shows optimal. The
+// returned schedule is valid under all three models.
+func TreeLatency(w *plan.Weighted) (Result, error) {
+	for v := 0; v < w.N(); v++ {
+		if len(w.InEdges(v)) != 1 {
+			return Result{}, fmt.Errorf("orchestrate: node %s has %d incoming communications; TreeLatency requires a forest", w.Name(v), len(w.InEdges(v)))
+		}
+	}
+	// rest[v] = time from the end of v's incoming communication to the
+	// completion of everything below v (including output communications).
+	rest := make([]rat.Rat, w.N())
+	order := make([][]int, w.N()) // chosen out-edge order per node
+	topo := w.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		type child struct {
+			edge int
+			r    rat.Rat
+		}
+		children := make([]child, 0, len(w.OutEdges(v)))
+		for _, ei := range w.OutEdges(v) {
+			r := rat.Zero
+			if to := w.Edge(ei).To; to >= 0 {
+				r = rest[to]
+			}
+			children = append(children, child{ei, r})
+		}
+		sort.SliceStable(children, func(a, b int) bool {
+			return children[a].r.Greater(children[b].r)
+		})
+		prefix := rat.Zero
+		worst := rat.Zero
+		order[v] = order[v][:0]
+		for _, c := range children {
+			prefix = prefix.Add(w.Vol(c.edge))
+			worst = rat.Max(worst, prefix.Add(c.r))
+			order[v] = append(order[v], c.edge)
+		}
+		rest[v] = w.Comp(v).Add(worst)
+	}
+	// Build the schedule: every root's input communication starts at 0.
+	l := oplist.New(w, rat.One)
+	var schedule func(v int, calcBegin rat.Rat)
+	schedule = func(v int, calcBegin rat.Rat) {
+		l.SetCalc(v, calcBegin)
+		t := calcBegin.Add(w.Comp(v))
+		for _, ei := range order[v] {
+			l.SetComm(ei, t)
+			t = t.Add(w.Vol(ei))
+			if to := w.Edge(ei).To; to >= 0 {
+				schedule(to, t)
+			}
+		}
+	}
+	latency := rat.Zero
+	for v := 0; v < w.N(); v++ {
+		in := w.InEdges(v)[0]
+		if w.Edge(in).From != plan.In {
+			continue // not a root
+		}
+		l.SetComm(in, rat.Zero)
+		schedule(v, w.Vol(in))
+		latency = rat.Max(latency, w.Vol(in).Add(rest[v]))
+	}
+	if latency.Sign() == 0 {
+		latency = rat.One
+	}
+	l.SetLambda(latency)
+	for _, m := range plan.Models {
+		if err := l.Validate(m); err != nil {
+			return Result{}, fmt.Errorf("orchestrate: tree latency schedule invalid under %s: %w", m, err)
+		}
+	}
+	return Result{List: l, Value: l.Latency(), LowerBound: w.LatencyPathBound(), Exact: true}, nil
+}
+
+// Latency dispatches to the model-specific latency orchestrator. For
+// forest-shaped plans the exact tree algorithm is used directly (one-port
+// communications are dominant on trees, paper Prop. 12).
+func Latency(w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	if isForestShaped(w) {
+		return TreeLatency(w)
+	}
+	switch m {
+	case plan.Overlap:
+		return OverlapLatency(w, opts)
+	case plan.InOrder, plan.OutOrder:
+		return OnePortLatency(w, opts)
+	default:
+		return Result{}, fmt.Errorf("orchestrate: unknown model %v", m)
+	}
+}
+
+func isForestShaped(w *plan.Weighted) bool {
+	for v := 0; v < w.N(); v++ {
+		if len(w.InEdges(v)) != 1 {
+			return false
+		}
+	}
+	return true
+}

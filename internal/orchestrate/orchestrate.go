@@ -1,0 +1,495 @@
+// Package orchestrate computes operation lists for a given execution graph:
+// the "orchestration" half of the paper's problems (§4.1 and §5.1).
+//
+// Period orchestration:
+//
+//   - OVERLAP: the polynomial construction of Theorem 1 — every
+//     communication is stretched to the period and data set 0 traverses the
+//     graph greedily. Always optimal.
+//   - INORDER: for fixed per-server receive/send orders the optimal period
+//     is the maximum cycle ratio of a timed event graph (package
+//     eventgraph); choosing the orders is the NP-hard part (Theorem 1 of
+//     the paper), handled by exhaustive search below a budget and priority
+//     heuristics plus local search above it.
+//   - OUTORDER: a software-pipelined event-graph template (receive data set
+//     n while computing n−1 and sending n−2, generation-shifted by the
+//     node's depth) searched the same way, never worse than the INORDER
+//     result.
+//
+// Latency orchestration (§5.1) is NP-hard for all models: one-port
+// schedules are explored exactly over per-server orders (the longest path
+// of the induced DAG is the latency), multi-port adds a bandwidth-sharing
+// construction, and tree-shaped graphs use the O(n log n) Algorithm 1.
+package orchestrate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/oplist"
+	"repro/internal/plan"
+	"repro/internal/rat"
+)
+
+// Options tunes the order searches. The zero value asks for defaults.
+type Options struct {
+	// MaxExhaustive caps the number of order combinations tried by the
+	// exhaustive search; above it the heuristic path is taken.
+	// Defaults to 4096.
+	MaxExhaustive int
+	// LocalSearchPasses bounds the hill-climbing passes of the heuristic
+	// path. Defaults to 8.
+	LocalSearchPasses int
+	// RandomSamples is the number of random order assignments the
+	// heuristic path additionally draws (the best one gets its own local
+	// search); deterministic seeds escape local optima this way.
+	// Defaults to 128; set negative to disable.
+	RandomSamples int
+	// Seed drives the random sampling. The default 0 is a valid seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxExhaustive == 0 {
+		o.MaxExhaustive = 4096
+	}
+	if o.LocalSearchPasses == 0 {
+		o.LocalSearchPasses = 8
+	}
+	if o.RandomSamples == 0 {
+		o.RandomSamples = 128
+	}
+	return o
+}
+
+// Result is an orchestration outcome: a validated operation list, the
+// objective value reached, the model-specific lower bound, and whether the
+// search was exhaustive (Exact — the value is optimal within the searched
+// schedule family).
+type Result struct {
+	List       *oplist.List
+	Value      rat.Rat
+	LowerBound rat.Rat
+	Exact      bool
+	// Bottleneck describes the operations on the binding (critical) cycle
+	// of the schedule when the period is cycle-limited: the chain of
+	// computations and communications whose durations sum to the period.
+	// Empty when no cycle analysis applies (e.g. Theorem-1 OVERLAP
+	// schedules, where the bound is a single server's port or CPU).
+	Bottleneck []string
+}
+
+// Orders fixes, for every server, the order of its incoming and outgoing
+// communications (slices of edge indices into the plan's edge list).
+type Orders struct {
+	In  [][]int
+	Out [][]int
+}
+
+// DefaultOrders returns the natural (plan edge order) orders.
+func DefaultOrders(w *plan.Weighted) Orders {
+	o := Orders{In: make([][]int, w.N()), Out: make([][]int, w.N())}
+	for v := 0; v < w.N(); v++ {
+		o.In[v] = append([]int(nil), w.InEdges(v)...)
+		o.Out[v] = append([]int(nil), w.OutEdges(v)...)
+	}
+	return o
+}
+
+// clone returns a deep copy of the orders.
+func (o Orders) clone() Orders {
+	c := Orders{In: make([][]int, len(o.In)), Out: make([][]int, len(o.Out))}
+	for i := range o.In {
+		c.In[i] = append([]int(nil), o.In[i]...)
+	}
+	for i := range o.Out {
+		c.Out[i] = append([]int(nil), o.Out[i]...)
+	}
+	return c
+}
+
+// Operation node numbering inside event graphs: calcs first, then comms.
+func calcOp(v int) int                         { return v }
+func commOp(w *plan.Weighted, edgeIdx int) int { return w.N() + edgeIdx }
+
+// opCount returns the number of operation nodes for plan w.
+func opCount(w *plan.Weighted) int { return w.N() + len(w.Edges()) }
+
+// opDur returns the duration of operation node op.
+func opDur(w *plan.Weighted, op int) rat.Rat {
+	if op < w.N() {
+		return w.Comp(op)
+	}
+	return w.Vol(op - w.N())
+}
+
+// serverSequence returns server v's operations in per-data-set order:
+// in-comms (given order), computation, out-comms (given order).
+func serverSequence(w *plan.Weighted, orders Orders, v int) []int {
+	seq := make([]int, 0, len(orders.In[v])+1+len(orders.Out[v]))
+	for _, e := range orders.In[v] {
+		seq = append(seq, commOp(w, e))
+	}
+	seq = append(seq, calcOp(v))
+	for _, e := range orders.Out[v] {
+		seq = append(seq, commOp(w, e))
+	}
+	return seq
+}
+
+// listFromTimes assembles an operation list from per-operation begin times.
+func listFromTimes(w *plan.Weighted, lambda rat.Rat, begin []rat.Rat) *oplist.List {
+	l := oplist.New(w, lambda)
+	for v := 0; v < w.N(); v++ {
+		l.SetCalc(v, begin[calcOp(v)])
+	}
+	for idx := range w.Edges() {
+		l.SetComm(idx, begin[commOp(w, idx)])
+	}
+	return l
+}
+
+// downstreamWork returns, per node, the heaviest chain of computation and
+// communication volume from the node to an output: the priority used by the
+// heuristic orders ("critical path first").
+func downstreamWork(w *plan.Weighted) []rat.Rat {
+	work := make([]rat.Rat, w.N())
+	topo := w.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		best := rat.Zero
+		for _, ei := range w.OutEdges(v) {
+			e := w.Edge(ei)
+			t := w.Vol(ei)
+			if e.To != plan.Out {
+				t = t.Add(work[e.To])
+			}
+			best = rat.Max(best, t)
+		}
+		work[v] = w.Comp(v).Add(best)
+	}
+	return work
+}
+
+// heuristicOrderSeeds returns a few deterministic order candidates:
+// the natural order and critical-path-driven variants.
+func heuristicOrderSeeds(w *plan.Weighted) []Orders {
+	natural := DefaultOrders(w)
+	work := downstreamWork(w)
+
+	// edgePriority scores an edge by the work still ahead of it.
+	edgePriority := func(ei int) rat.Rat {
+		e := w.Edge(ei)
+		t := w.Vol(ei)
+		if e.To >= 0 {
+			t = t.Add(work[e.To])
+		}
+		return t
+	}
+	critical := natural.clone()
+	for v := 0; v < w.N(); v++ {
+		sort.SliceStable(critical.Out[v], func(i, j int) bool {
+			return edgePriority(critical.Out[v][i]).Greater(edgePriority(critical.Out[v][j]))
+		})
+		// Receive first from senders that were ready earliest: those with
+		// the least upstream work, approximated by the sender's own work
+		// being largest downstream (they started sooner on the path).
+		sort.SliceStable(critical.In[v], func(i, j int) bool {
+			return edgePriority(critical.In[v][i]).Greater(edgePriority(critical.In[v][j]))
+		})
+	}
+	reversed := critical.clone()
+	for v := 0; v < w.N(); v++ {
+		reverseInts(reversed.In[v])
+		reverseInts(reversed.Out[v])
+	}
+	return []Orders{greedyOrders(w), natural, critical, reversed}
+}
+
+// greedyOrders runs an earliest-start-first list scheduler for one data set
+// under one-port rules (ties broken toward heavier downstream work) and
+// returns the per-server orders it induces. On wide communication phases —
+// bipartite shapes like the paper's B.2 example — this seed is far better
+// than any static priority order.
+func greedyOrders(w *plan.Weighted) Orders {
+	work := downstreamWork(w)
+	n := w.N()
+	serverFree := make([]rat.Rat, n)
+	calcEnd := make([]rat.Rat, n)
+	calcSched := make([]bool, n)
+	insLeft := make([]int, n)
+	insMaxEnd := make([]rat.Rat, n)
+	commSched := make([]bool, len(w.Edges()))
+	commBegin := make([]rat.Rat, len(w.Edges()))
+	calcBegin := make([]rat.Rat, n)
+	for v := 0; v < n; v++ {
+		insLeft[v] = len(w.InEdges(v))
+	}
+
+	priority := func(isCalc bool, id int) rat.Rat {
+		if isCalc {
+			return work[id]
+		}
+		e := w.Edge(id)
+		p := w.Vol(id)
+		if e.To >= 0 {
+			p = p.Add(work[e.To])
+		}
+		return p
+	}
+
+	total := n + len(w.Edges())
+	for scheduled := 0; scheduled < total; scheduled++ {
+		bestSet := false
+		var bestStart, bestPrio rat.Rat
+		bestIsCalc := false
+		bestID := -1
+		consider := func(isCalc bool, id int, start rat.Rat) {
+			p := priority(isCalc, id)
+			if !bestSet || start.Less(bestStart) ||
+				(start.Equal(bestStart) && p.Greater(bestPrio)) {
+				bestSet, bestStart, bestPrio, bestIsCalc, bestID = true, start, p, isCalc, id
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !calcSched[v] && insLeft[v] == 0 {
+				consider(true, v, rat.Max(insMaxEnd[v], serverFree[v]))
+			}
+		}
+		for ei, e := range w.Edges() {
+			if commSched[ei] {
+				continue
+			}
+			start := rat.Zero
+			if e.From >= 0 {
+				if !calcSched[e.From] {
+					continue
+				}
+				start = rat.Max(calcEnd[e.From], serverFree[e.From])
+			}
+			if e.To >= 0 {
+				start = rat.Max(start, serverFree[e.To])
+			}
+			consider(false, ei, start)
+		}
+		if !bestSet {
+			// Cannot happen on a valid plan; fall back to natural orders.
+			return DefaultOrders(w)
+		}
+		if bestIsCalc {
+			calcSched[bestID] = true
+			calcBegin[bestID] = bestStart
+			calcEnd[bestID] = bestStart.Add(w.Comp(bestID))
+			serverFree[bestID] = calcEnd[bestID]
+		} else {
+			commSched[bestID] = true
+			commBegin[bestID] = bestStart
+			end := bestStart.Add(w.Vol(bestID))
+			e := w.Edge(bestID)
+			if e.From >= 0 {
+				serverFree[e.From] = rat.Max(serverFree[e.From], end)
+			}
+			if e.To >= 0 {
+				serverFree[e.To] = rat.Max(serverFree[e.To], end)
+				insLeft[e.To]--
+				insMaxEnd[e.To] = rat.Max(insMaxEnd[e.To], end)
+			}
+		}
+	}
+	orders := DefaultOrders(w)
+	byBegin := func(s []int) {
+		sort.SliceStable(s, func(i, j int) bool {
+			return commBegin[s[i]].Less(commBegin[s[j]])
+		})
+	}
+	for v := 0; v < n; v++ {
+		byBegin(orders.In[v])
+		byBegin(orders.Out[v])
+	}
+	return orders
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// orderCombinations counts Π (ins! · outs!) over servers, capping at limit.
+func orderCombinations(w *plan.Weighted, limit int) int {
+	total := 1
+	for v := 0; v < w.N(); v++ {
+		total *= factorialCapped(len(w.InEdges(v)), limit)
+		if total > limit {
+			return limit + 1
+		}
+		total *= factorialCapped(len(w.OutEdges(v)), limit)
+		if total > limit {
+			return limit + 1
+		}
+	}
+	return total
+}
+
+func factorialCapped(n, limit int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f > limit {
+			return limit + 1
+		}
+	}
+	return f
+}
+
+// forEachOrders enumerates every order combination, invoking fn with a
+// reused Orders value (fn must not retain it). fn returns false to stop.
+func forEachOrders(w *plan.Weighted, fn func(Orders) bool) {
+	orders := DefaultOrders(w)
+	// Collect the permutable slots: one per server side with ≥ 2 comms.
+	type slot struct{ s []int }
+	var slots []slot
+	for v := 0; v < w.N(); v++ {
+		if len(orders.In[v]) > 1 {
+			slots = append(slots, slot{orders.In[v]})
+		}
+		if len(orders.Out[v]) > 1 {
+			slots = append(slots, slot{orders.Out[v]})
+		}
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(slots) {
+			return fn(orders)
+		}
+		cont := true
+		permute(slots[i].s, 0, func() bool {
+			cont = rec(i + 1)
+			return cont
+		})
+		return cont
+	}
+	rec(0)
+}
+
+// permute enumerates permutations of s[k:] in place (Heap-style recursion),
+// calling fn for each; fn returns false to stop early. The slice is
+// restored to its entry order before returning.
+func permute(s []int, k int, fn func() bool) bool {
+	if k == len(s) {
+		return fn()
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		if !permute(s, k+1, fn) {
+			s[k], s[i] = s[i], s[k]
+			return false
+		}
+		s[k], s[i] = s[i], s[k]
+	}
+	return true
+}
+
+// evalFn scores one order assignment; it returns an error when the orders
+// are infeasible (cross-server deadlock).
+type evalFn func(Orders) (rat.Rat, *oplist.List, error)
+
+// searchOrders minimizes eval over order assignments: exhaustively when the
+// combination count fits the budget, otherwise seeds + adjacent-swap local
+// search.
+func searchOrders(w *plan.Weighted, opts Options, eval evalFn) (Result, error) {
+	opts = opts.withDefaults()
+	var best *oplist.List
+	var bestVal rat.Rat
+	exact := false
+	consider := func(o Orders) {
+		val, l, err := eval(o)
+		if err != nil {
+			return
+		}
+		if best == nil || val.Less(bestVal) {
+			best, bestVal = l, val
+		}
+	}
+	if orderCombinations(w, opts.MaxExhaustive) <= opts.MaxExhaustive {
+		exact = true
+		forEachOrders(w, func(o Orders) bool {
+			consider(o)
+			return true
+		})
+	} else {
+		climb := func(cur Orders) {
+			val, l, err := eval(cur)
+			if err != nil {
+				return
+			}
+			if best == nil || val.Less(bestVal) {
+				best, bestVal = l, val
+			}
+			// Adjacent-swap hill climbing.
+			for pass := 0; pass < opts.LocalSearchPasses; pass++ {
+				improved := false
+				for v := 0; v < w.N(); v++ {
+					for _, side := range [][]int{cur.In[v], cur.Out[v]} {
+						for i := 0; i+1 < len(side); i++ {
+							side[i], side[i+1] = side[i+1], side[i]
+							nv, nl, err := eval(cur)
+							if err == nil && nv.Less(val) {
+								val = nv
+								improved = true
+								if nv.Less(bestVal) {
+									best, bestVal = nl, nv
+								}
+							} else {
+								side[i], side[i+1] = side[i+1], side[i]
+							}
+						}
+					}
+				}
+				if !improved {
+					break
+				}
+			}
+		}
+		for _, seed := range heuristicOrderSeeds(w) {
+			climb(seed.clone())
+		}
+		// Random restarts: sample order assignments, then climb from the
+		// best sample found.
+		if opts.RandomSamples > 0 {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			var bestSample Orders
+			var bestSampleVal rat.Rat
+			haveSample := false
+			for s := 0; s < opts.RandomSamples; s++ {
+				cand := DefaultOrders(w)
+				for v := 0; v < w.N(); v++ {
+					rng.Shuffle(len(cand.In[v]), func(i, j int) {
+						cand.In[v][i], cand.In[v][j] = cand.In[v][j], cand.In[v][i]
+					})
+					rng.Shuffle(len(cand.Out[v]), func(i, j int) {
+						cand.Out[v][i], cand.Out[v][j] = cand.Out[v][j], cand.Out[v][i]
+					})
+				}
+				val, l, err := eval(cand)
+				if err != nil {
+					continue
+				}
+				if best == nil || val.Less(bestVal) {
+					best, bestVal = l, val
+				}
+				if !haveSample || val.Less(bestSampleVal) {
+					bestSample, bestSampleVal, haveSample = cand.clone(), val, true
+				}
+			}
+			if haveSample {
+				climb(bestSample)
+			}
+		}
+	}
+	if best == nil {
+		return Result{}, fmt.Errorf("orchestrate: no feasible order assignment found")
+	}
+	return Result{List: best, Value: bestVal, Exact: exact}, nil
+}

@@ -1,0 +1,367 @@
+package orchestrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventgraph"
+	"repro/internal/oplist"
+	"repro/internal/plan"
+	"repro/internal/rat"
+)
+
+// OverlapPeriod builds the Theorem-1 operation list for the OVERLAP model:
+// λ = max_k Cexec(k), every communication stretched to duration λ (ratio
+// volume/λ ≤ 1 by definition of the bound), and data set 0 traversing the
+// graph greedily. The result is always optimal, hence Exact.
+func OverlapPeriod(w *plan.Weighted) (Result, error) {
+	lambda := w.PeriodLowerBound(plan.Overlap)
+	if lambda.Sign() == 0 {
+		lambda = rat.One // degenerate all-zero plan; any positive period works
+	}
+	l := oplist.New(w, lambda)
+	// ready[v] = completion time of all of v's incoming communications.
+	ready := make([]rat.Rat, w.N())
+	for _, idx := range entryInEdges(w) {
+		l.SetCommStretched(idx, rat.Zero, lambda)
+	}
+	for _, v := range w.Topo() {
+		r := rat.Zero
+		for _, idx := range w.InEdges(v) {
+			r = rat.Max(r, l.CommEnd(idx))
+		}
+		ready[v] = r
+		l.SetCalc(v, r)
+		done := r.Add(w.Comp(v))
+		for _, idx := range w.OutEdges(v) {
+			l.SetCommStretched(idx, done, done.Add(lambda))
+		}
+	}
+	if err := l.Validate(plan.Overlap); err != nil {
+		return Result{}, fmt.Errorf("orchestrate: Theorem-1 construction invalid: %w", err)
+	}
+	return Result{List: l, Value: lambda, LowerBound: lambda, Exact: true}, nil
+}
+
+// entryInEdges returns the indices of the virtual input communications.
+func entryInEdges(w *plan.Weighted) []int {
+	var out []int
+	for idx, e := range w.Edges() {
+		if e.From == plan.In {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// buildInOrderGraph encodes the INORDER semantics for fixed orders as a
+// timed event graph: per server, the chain in-comms → calc → out-comms with
+// zero tokens and a one-token wrap edge from the last operation back to the
+// first (constraint (1) of Appendix A). Communications appear in both
+// endpoint servers' chains, which realizes the synchronous rendezvous.
+func buildInOrderGraph(w *plan.Weighted, orders Orders) *eventgraph.Graph {
+	g := eventgraph.New(opCount(w))
+	for v := 0; v < w.N(); v++ {
+		seq := serverSequence(w, orders, v)
+		for i := 0; i+1 < len(seq); i++ {
+			g.AddEdge(seq[i], seq[i+1], opDur(w, seq[i]), 0)
+		}
+		last := seq[len(seq)-1]
+		g.AddEdge(last, seq[0], opDur(w, last), 1)
+	}
+	return g
+}
+
+// solvePeriodGraph computes the MCR of g and the earliest schedule at that
+// period, returning the operation list and the critical cycle as
+// human-readable operation labels.
+func solvePeriodGraph(w *plan.Weighted, g *eventgraph.Graph) (rat.Rat, *oplist.List, []string, error) {
+	res, err := g.MaximumCycleRatio()
+	lambda := rat.One
+	var critical []string
+	switch err {
+	case nil:
+		lambda = res.Ratio
+		if lambda.Sign() == 0 {
+			lambda = rat.One
+		}
+		critical = describeCycle(w, g, res.CriticalCycle)
+	case eventgraph.ErrNoCycle:
+		// No cyclic constraint: any period works; keep 1.
+	default:
+		return rat.Zero, nil, nil, err
+	}
+	pi, err := g.Potentials(lambda)
+	if err != nil {
+		return rat.Zero, nil, nil, err
+	}
+	return lambda, listFromTimes(w, lambda, pi), critical, nil
+}
+
+// describeCycle renders the operations visited by a critical cycle.
+func describeCycle(w *plan.Weighted, g *eventgraph.Graph, cycle []int) []string {
+	edges := g.Edges()
+	out := make([]string, 0, len(cycle))
+	for _, ei := range cycle {
+		out = append(out, opLabel(w, edges[ei].From))
+	}
+	return out
+}
+
+// opLabel names an event-graph operation node.
+func opLabel(w *plan.Weighted, op int) string {
+	if op < w.N() {
+		return "calc(" + w.Name(op) + ")"
+	}
+	e := w.Edge(op - w.N())
+	from, to := w.Name(0), w.Name(0)
+	switch {
+	case e.From == plan.In:
+		from = "in"
+	case e.From >= 0:
+		from = w.Name(e.From)
+	}
+	switch {
+	case e.To == plan.Out:
+		to = "out"
+	case e.To >= 0:
+		to = w.Name(e.To)
+	}
+	return "comm(" + from + "->" + to + ")"
+}
+
+// InOrderPeriodWithOrders returns the optimal INORDER operation list for
+// the given fixed orders: the exact maximum-cycle-ratio period.
+func InOrderPeriodWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, error) {
+	_, l, _, err := solvePeriodGraph(w, buildInOrderGraph(w, orders))
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Validate(plan.InOrder); err != nil {
+		return nil, fmt.Errorf("orchestrate: INORDER construction invalid: %w", err)
+	}
+	return l, nil
+}
+
+// extractOrders reads the per-server receive/send orders realized by an
+// operation list (sorting each side by communication begin time).
+func extractOrders(l *oplist.List) Orders {
+	w := l.Plan()
+	orders := DefaultOrders(w)
+	byBegin := func(s []int) {
+		sort.SliceStable(s, func(i, j int) bool {
+			return l.CommBegin(s[i]).Less(l.CommBegin(s[j]))
+		})
+	}
+	for v := 0; v < w.N(); v++ {
+		byBegin(orders.In[v])
+		byBegin(orders.Out[v])
+	}
+	return orders
+}
+
+// InOrderBottleneck identifies the critical cycle binding an INORDER
+// schedule's period: the sequence of operations whose durations sum to
+// exactly λ times the number of data-set wraps on the cycle. Returns nil
+// when the schedule's period is not the cycle optimum for its own orders
+// (e.g. a schedule with deliberate slack).
+func InOrderBottleneck(l *oplist.List) []string {
+	g := buildInOrderGraph(l.Plan(), extractOrders(l))
+	res, err := g.MaximumCycleRatio()
+	if err != nil || !res.Ratio.Equal(l.Lambda()) {
+		return nil
+	}
+	return describeCycle(l.Plan(), g, res.CriticalCycle)
+}
+
+// InOrderPeriod searches receive/send orders for the best INORDER period.
+// Exact reports whether all orders were tried (the optimum over the INORDER
+// schedule family); the general problem is NP-hard (paper Prop. 3).
+func InOrderPeriod(w *plan.Weighted, opts Options) (Result, error) {
+	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
+		l, err := InOrderPeriodWithOrders(w, o)
+		if err != nil {
+			return rat.Zero, nil, err
+		}
+		return l.Lambda(), l, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Value = res.List.Lambda()
+	res.LowerBound = w.PeriodLowerBound(plan.InOrder)
+	res.Bottleneck = InOrderBottleneck(res.List)
+	return res, nil
+}
+
+// generations returns per-node pipeline stages: the hop-length of the
+// longest path from the node to an exit, plus the per-edge generation of
+// every communication (its sender's stage; one more for input comms).
+func generations(w *plan.Weighted) (gen []int, commGen []int) {
+	gen = make([]int, w.N())
+	topo := w.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		g := 0
+		for _, ei := range w.OutEdges(v) {
+			if to := w.Edge(ei).To; to >= 0 && gen[to]+1 > g {
+				g = gen[to] + 1
+			}
+		}
+		gen[v] = g
+	}
+	commGen = make([]int, len(w.Edges()))
+	for ei, e := range w.Edges() {
+		if e.From >= 0 {
+			commGen[ei] = gen[e.From]
+		} else {
+			commGen[ei] = gen[e.To] + 1
+		}
+	}
+	return gen, commGen
+}
+
+// buildPipelinedGraph encodes the software-pipelined OUTORDER template in
+// generation-shifted time: each operation is retimed by its pipeline stage
+// (μ = stage), so that on every server the cycle "out-comms, calc, in-comms"
+// carries exactly one token (between the last out-comm and the calc) while
+// data precedence edges carry the stage differences. Begin times recovered
+// by b = π + λ·(maxStage − μ) satisfy the original OUTORDER constraints.
+func buildPipelinedGraph(w *plan.Weighted, orders Orders) (*eventgraph.Graph, []int, int) {
+	gen, commGen := generations(w)
+	mu := make([]int, opCount(w))
+	maxMu := 0
+	for v := 0; v < w.N(); v++ {
+		mu[calcOp(v)] = gen[v]
+	}
+	for ei := range w.Edges() {
+		mu[commOp(w, ei)] = commGen[ei]
+	}
+	for _, m := range mu {
+		if m > maxMu {
+			maxMu = m
+		}
+	}
+	g := eventgraph.New(opCount(w))
+	// Per-server residue cycle: O_1..O_q, calc, I_1..I_p, wrap to O_1.
+	for v := 0; v < w.N(); v++ {
+		outs := orders.Out[v]
+		ins := orders.In[v]
+		seq := make([]int, 0, len(outs)+1+len(ins))
+		for _, e := range outs {
+			seq = append(seq, commOp(w, e))
+		}
+		seq = append(seq, calcOp(v))
+		for _, e := range ins {
+			seq = append(seq, commOp(w, e))
+		}
+		for i := 0; i+1 < len(seq); i++ {
+			tok := 0
+			if seq[i+1] == calcOp(v) {
+				tok = 1 // the single wrap token sits before the calc
+			}
+			g.AddEdge(seq[i], seq[i+1], opDur(w, seq[i]), tok)
+		}
+		last := seq[len(seq)-1]
+		g.AddEdge(last, seq[0], opDur(w, last), 0)
+	}
+	// Data precedence in shifted time: calc(u) → comm carries no tokens
+	// (same stage); comm → calc(v) carries the stage difference ≥ 1.
+	for ei, e := range w.Edges() {
+		if e.From >= 0 {
+			g.AddEdge(calcOp(e.From), commOp(w, ei), w.Comp(e.From), 0)
+		}
+		if e.To >= 0 {
+			g.AddEdge(commOp(w, ei), calcOp(e.To), w.Vol(ei), commGen[ei]-gen[e.To])
+		}
+	}
+	return g, mu, maxMu
+}
+
+// OutOrderPeriodWithOrders builds the pipelined OUTORDER schedule for fixed
+// orders and returns the better of it and the INORDER schedule (an INORDER
+// list is always OUTORDER-valid).
+func OutOrderPeriodWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, error) {
+	inorder, inErr := InOrderPeriodWithOrders(w, orders)
+
+	g, mu, maxMu := buildPipelinedGraph(w, orders)
+	lambda, shifted, _, err := solvePeriodGraph(w, g)
+	var pipelined *oplist.List
+	if err == nil {
+		pipelined = oplist.New(w, lambda)
+		for v := 0; v < w.N(); v++ {
+			shift := lambda.MulInt(int64(maxMu - mu[calcOp(v)]))
+			pipelined.SetCalc(v, shifted.CalcBegin(v).Add(shift))
+		}
+		for ei := range w.Edges() {
+			shift := lambda.MulInt(int64(maxMu - mu[commOp(w, ei)]))
+			pipelined.SetComm(ei, shifted.CommBegin(ei).Add(shift))
+		}
+		if verr := pipelined.Validate(plan.OutOrder); verr != nil {
+			return nil, fmt.Errorf("orchestrate: pipelined construction invalid: %w", verr)
+		}
+	}
+	switch {
+	case pipelined == nil && inorder == nil:
+		return nil, fmt.Errorf("orchestrate: no OUTORDER schedule for these orders (inorder: %v, pipelined: %v)", inErr, err)
+	case pipelined == nil:
+		return inorder, nil
+	case inorder == nil || pipelined.Lambda().Less(inorder.Lambda()):
+		return pipelined, nil
+	default:
+		return inorder, nil
+	}
+}
+
+// OutOrderPeriod searches orders for the best OUTORDER period found. The
+// schedule family (per-server pipelined residue orders) does not cover
+// every conceivable OUTORDER schedule, so Exact refers to the family; the
+// general problem is NP-hard (paper Prop. 2).
+func OutOrderPeriod(w *plan.Weighted, opts Options) (Result, error) {
+	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
+		l, err := OutOrderPeriodWithOrders(w, o)
+		if err != nil {
+			return rat.Zero, nil, err
+		}
+		return l.Lambda(), l, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Value = res.List.Lambda()
+	res.LowerBound = w.PeriodLowerBound(plan.OutOrder)
+	res.Bottleneck = OutOrderBottleneck(res.List)
+	return res, nil
+}
+
+// OutOrderBottleneck identifies the critical cycle of an OUTORDER schedule
+// produced by this package: it re-analyzes the schedule's realized orders
+// under both the in-order and the pipelined event-graph templates and
+// reports the cycle of whichever matches the schedule's period. Returns nil
+// when neither does.
+func OutOrderBottleneck(l *oplist.List) []string {
+	if labels := InOrderBottleneck(l); labels != nil {
+		return labels
+	}
+	w := l.Plan()
+	g, _, _ := buildPipelinedGraph(w, extractOrders(l))
+	res, err := g.MaximumCycleRatio()
+	if err != nil || !res.Ratio.Equal(l.Lambda()) {
+		return nil
+	}
+	return describeCycle(w, g, res.CriticalCycle)
+}
+
+// Period dispatches to the model-specific period orchestrator.
+func Period(w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	switch m {
+	case plan.Overlap:
+		return OverlapPeriod(w)
+	case plan.InOrder:
+		return InOrderPeriod(w, opts)
+	case plan.OutOrder:
+		return OutOrderPeriod(w, opts)
+	default:
+		return Result{}, fmt.Errorf("orchestrate: unknown model %v", m)
+	}
+}

@@ -1,0 +1,213 @@
+// Package paperex builds the concrete instances used in the paper: the
+// running example of §2.3 (Figure 1) and the three counter-examples of §3 /
+// Appendix B (Figures 4, 5 and 6). They are shared by tests, the experiment
+// harness, and the benchmarks, so the numbers reported in EXPERIMENTS.md are
+// produced from exactly one definition of each instance.
+package paperex
+
+import (
+	"fmt"
+
+	"repro/internal/oplist"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// Fig1App returns the §2.3 example application: five services of cost 4 and
+// selectivity 1, no precedence constraints.
+func Fig1App() *workflow.App {
+	return workflow.Uniform(5, rat.I(4), rat.One)
+}
+
+// Fig1Graph returns the execution graph of Figure 1:
+//
+//	in -> C1; C1 -> C2 -> C3 -> C5; C1 -> C4 -> C5; C5 -> out.
+//
+// Known results (paper §2.3): optimal latency 21 for all models; optimal
+// period 4 (OVERLAP), 7 (OUTORDER), 23/3 (INORDER).
+func Fig1Graph() *plan.ExecGraph {
+	return plan.MustBuild(Fig1App(), [][2]int{
+		{0, 1}, {0, 3}, // C1 -> C2, C1 -> C4
+		{1, 2}, // C2 -> C3
+		{2, 4}, // C3 -> C5
+		{3, 4}, // C4 -> C5
+	})
+}
+
+// B1App returns the Appendix B.1 application with 202 services:
+// C1, C2 have selectivity 9999/10000 and cost 100; C3..C202 have
+// selectivity 100 and cost 100/(9999/10000) = 1000000/9999.
+func B1App() *workflow.App {
+	services := make([]workflow.Service, 202)
+	fsel := rat.New(9999, 10000)
+	for i := 0; i < 2; i++ {
+		services[i] = workflow.Service{Cost: rat.I(100), Selectivity: fsel}
+	}
+	bigCost := rat.I(100).Div(fsel) // 100/0.9999
+	for i := 2; i < 202; i++ {
+		services[i] = workflow.Service{Cost: bigCost, Selectivity: rat.I(100)}
+	}
+	return workflow.MustNew(services, nil)
+}
+
+// B1ChainFanGraph returns the plan that is optimal WITHOUT communication
+// costs: C1 -> C2, then C2 feeds all 200 remaining services. Its OVERLAP
+// period is ruined by Cout(C2) ≈ 200.
+func B1ChainFanGraph() *plan.ExecGraph {
+	edges := [][2]int{{0, 1}}
+	for i := 2; i < 202; i++ {
+		edges = append(edges, [2]int{1, i})
+	}
+	return plan.MustBuild(B1App(), edges)
+}
+
+// B1OptimalGraph returns the Figure 4 plan, optimal WITH communication
+// costs under OVERLAP: C1 feeds C3..C102, C2 feeds C103..C202 (two
+// independent fans, a forest). Its OVERLAP period is exactly 100.
+func B1OptimalGraph() *plan.ExecGraph {
+	var edges [][2]int
+	for i := 2; i < 102; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	for i := 102; i < 202; i++ {
+		edges = append(edges, [2]int{1, i})
+	}
+	return plan.MustBuild(B1App(), edges)
+}
+
+// B2App returns the Appendix B.2 application: 12 services of unit cost,
+// σ2 = σ3 = 2, σ4 = σ5 = σ6 = 3, all other selectivities 1.
+func B2App() *workflow.App {
+	services := make([]workflow.Service, 12)
+	for i := range services {
+		services[i] = workflow.Service{Cost: rat.One, Selectivity: rat.One}
+	}
+	services[1].Selectivity = rat.I(2) // C2
+	services[2].Selectivity = rat.I(2) // C3
+	services[3].Selectivity = rat.I(3) // C4
+	services[4].Selectivity = rat.I(3) // C5
+	services[5].Selectivity = rat.I(3) // C6
+	return workflow.MustNew(services, nil)
+}
+
+// B2Graph returns the Figure 5 execution graph: each right-side service
+// C7..C12 receives from C1, from one of {C2, C3} and from one of
+// {C4, C5, C6}, so each receives volumes 1+2+3 = 6 and computes 6 units.
+// Known results: optimal multi-port latency 20; the one-port optimum is 21
+// (strictly above 20 by the paper's proof, achieved by B2OnePort21List).
+func B2Graph() *plan.ExecGraph {
+	var edges [][2]int
+	for j := 6; j < 12; j++ {
+		edges = append(edges, [2]int{0, j}) // C1 -> each
+	}
+	// C2 -> C7,C8,C9 ; C3 -> C10,C11,C12
+	for j := 6; j < 9; j++ {
+		edges = append(edges, [2]int{1, j})
+	}
+	for j := 9; j < 12; j++ {
+		edges = append(edges, [2]int{2, j})
+	}
+	// C4 -> C7,C10 ; C5 -> C8,C11 ; C6 -> C9,C12
+	edges = append(edges, [2]int{3, 6}, [2]int{3, 9})
+	edges = append(edges, [2]int{4, 7}, [2]int{4, 10})
+	edges = append(edges, [2]int{5, 8}, [2]int{5, 11})
+	return plan.MustBuild(B2App(), edges)
+}
+
+// B2OnePort21List returns a hand-constructed one-port operation list for
+// the Figure 5 graph with latency exactly 21: the 6×6 communication phase
+// packs into 7 time units (an open-shop-style schedule), one more than the
+// multi-port optimum's 6. Together with the paper's proof that latency 20
+// is unreachable for one-port schedules, this witness pins the one-port
+// optimum at 21. The schedule validates under all three models.
+func B2OnePort21List() *oplist.List {
+	w := B2Graph().Weighted()
+	l := oplist.New(w, rat.I(21))
+	set := func(from, to int, begin int64) {
+		idx := w.EdgeIndex(plan.Edge{From: from, To: to})
+		if idx < 0 {
+			panic(fmt.Sprintf("paperex: missing edge %d->%d", from, to))
+		}
+		l.SetComm(idx, rat.I(begin))
+	}
+	for i := 0; i < 6; i++ {
+		set(plan.In, i, 0)
+		l.SetCalc(i, rat.One)
+	}
+	// The communication phase, [2, 9): sender C1 (volume 1 each), C2/C3
+	// (volume 2), C4/C5/C6 (volume 3).
+	set(0, 10, 2)
+	set(0, 9, 4)
+	set(0, 11, 5)
+	set(0, 7, 6)
+	set(0, 6, 7)
+	set(0, 8, 8)
+	set(1, 8, 2)
+	set(1, 6, 5)
+	set(1, 7, 7)
+	set(2, 9, 2)
+	set(2, 10, 4)
+	set(2, 11, 6)
+	set(3, 6, 2)
+	set(3, 9, 5)
+	set(4, 7, 2)
+	set(4, 10, 6)
+	set(5, 11, 2)
+	set(5, 8, 5)
+	// Right-side computations and output communications.
+	for j := 6; j < 12; j++ {
+		begin := rat.Zero
+		for _, idx := range w.InEdges(j) {
+			begin = rat.Max(begin, l.CommEnd(idx))
+		}
+		l.SetCalc(j, begin)
+		out := w.EdgeIndex(plan.Edge{From: j, To: plan.Out})
+		l.SetComm(out, begin.Add(w.Comp(j)))
+	}
+	return l
+}
+
+// B3Weighted returns the Appendix B.3 instance as a traditional weighted
+// workflow (the paper notes the counter-example "still holds for
+// traditional workflows"): 8 nodes of unit computation time; senders
+// C1..C4 emit volumes 3, 3, 4, 2 per successor; C1, C2 and C4 feed all of
+// C5..C8 while C3 feeds only C5..C7. Each of C1..C4 has a private input of
+// volume 1, each of C5..C8 a private output of volume 1.
+//
+// Known results: optimal multi-port period 12; no one-port operation list
+// achieves 12 (paper B.3).
+//
+// Note the filtering reading of B.3 (σ1=σ2=3, σ3=4, σ4=2, unit costs) would
+// make each right-side computation cost the full selectivity product (72),
+// contradicting the stated period 12; like the paper's own argument, the
+// instance only makes sense with literal volumes, which is exactly what
+// Weighted expresses.
+func B3Weighted() *plan.Weighted {
+	comp := make([]rat.Rat, 8)
+	for i := range comp {
+		comp[i] = rat.One
+	}
+	var edges []plan.Edge
+	var vols []rat.Rat
+	add := func(e plan.Edge, v rat.Rat) {
+		edges = append(edges, e)
+		vols = append(vols, v)
+	}
+	for i := 0; i < 4; i++ {
+		add(plan.Edge{From: plan.In, To: i}, rat.One)
+	}
+	outVol := []rat.Rat{rat.I(3), rat.I(3), rat.I(4), rat.I(2)}
+	for _, i := range []int{0, 1, 3} { // C1, C2, C4 -> C5..C8
+		for j := 4; j < 8; j++ {
+			add(plan.Edge{From: i, To: j}, outVol[i])
+		}
+	}
+	for j := 4; j < 7; j++ { // C3 -> C5..C7
+		add(plan.Edge{From: 2, To: j}, outVol[2])
+	}
+	for j := 4; j < 8; j++ {
+		add(plan.Edge{From: j, To: plan.Out}, rat.One)
+	}
+	return plan.MustNewWeighted(nil, comp, edges, vols)
+}

@@ -1,0 +1,346 @@
+// Package plan implements execution graphs, the first half of a plan in the
+// paper's sense: a DAG over services whose transitive closure contains the
+// application's precedence constraints, annotated with the derived volumes
+// and costs (inProd, outSize, Cin, Ccomp, Cout, Cexec) that every scheduling
+// decision is based on.
+//
+// Entry services receive their input (volume δ0 = 1) from a private input
+// node; exit services send their output to a private output node. These
+// virtual endpoints appear as the special indices In and Out in Edge values.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// Model identifies one of the paper's three communication models.
+type Model int
+
+const (
+	// Overlap is the multi-port model with full communication/computation
+	// overlap; concurrent communications share bandwidth.
+	Overlap Model = iota
+	// InOrder is the one-port model without overlap where each server fully
+	// processes data set n (receive all, compute, send all) before touching
+	// data set n+1.
+	InOrder
+	// OutOrder is the one-port model without overlap that allows operations
+	// of different data sets to interleave on a server.
+	OutOrder
+)
+
+// Models lists all three communication models in presentation order.
+var Models = []Model{Overlap, InOrder, OutOrder}
+
+// String returns the paper's name for the model.
+func (m Model) String() string {
+	switch m {
+	case Overlap:
+		return "OVERLAP"
+	case InOrder:
+		return "INORDER"
+	case OutOrder:
+		return "OUTORDER"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Virtual node indices used in Edge endpoints.
+const (
+	// In denotes the private input node of an entry service.
+	In = -1
+	// Out denotes the private output node of an exit service.
+	Out = -2
+)
+
+// Edge is one communication of the plan: service-to-service, input-node-to-
+// entry-service (From == In) or exit-service-to-output-node (To == Out).
+type Edge struct {
+	From, To int
+}
+
+// String renders the edge using service indices, with "in"/"out" for the
+// virtual endpoints.
+func (e Edge) String() string {
+	from, to := fmt.Sprint(e.From), fmt.Sprint(e.To)
+	if e.From == In {
+		from = "in"
+	}
+	if e.To == Out {
+		to = "out"
+	}
+	return from + "->" + to
+}
+
+// ExecGraph is an execution graph with all derived quantities precomputed.
+// It is immutable after construction.
+type ExecGraph struct {
+	app     *workflow.App
+	g       *dag.Graph
+	topo    []int
+	anc     []*bitset.Set
+	inProd  []rat.Rat // Π σ over strict ancestors
+	outSize []rat.Rat // inProd·σ
+	edges   []Edge    // all comms incl. virtual, deterministic order
+}
+
+// Build constructs an execution graph for app from the given service-to-
+// service edges. It fails if the edges form a cycle or if the application's
+// precedence constraints are not contained in the transitive closure.
+func Build(app *workflow.App, edges [][2]int) (*ExecGraph, error) {
+	g := dag.New(app.N())
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= app.N() || e[1] < 0 || e[1] >= app.N() {
+			return nil, fmt.Errorf("plan: edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("plan: self-loop on service %d", e[0])
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return FromGraph(app, g)
+}
+
+// FromGraph constructs an execution graph from an already-built DAG. The
+// graph is cloned; the caller keeps ownership of g.
+func FromGraph(app *workflow.App, g *dag.Graph) (*ExecGraph, error) {
+	if g.N() != app.N() {
+		return nil, fmt.Errorf("plan: graph has %d nodes, application has %d services", g.N(), app.N())
+	}
+	eg := &ExecGraph{app: app, g: g.Clone()}
+	topo, err := eg.g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("plan: execution graph is cyclic")
+	}
+	eg.topo = topo
+	ok, err := eg.g.ClosureContains(app.Precedence())
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("plan: execution graph does not honor the precedence constraints")
+	}
+	eg.anc, err = eg.g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
+	n := app.N()
+	eg.inProd = make([]rat.Rat, n)
+	eg.outSize = make([]rat.Rat, n)
+	for _, v := range topo {
+		p := rat.One
+		// Multiplying along one incoming path would double-count shared
+		// ancestors; the paper defines inProd over the ancestor *set*.
+		eg.anc[v].ForEach(func(u int) { p = p.Mul(app.Selectivity(u)) })
+		eg.inProd[v] = p
+		eg.outSize[v] = p.Mul(app.Selectivity(v))
+	}
+	// Deterministic edge order: input comms, service comms, output comms.
+	for v := 0; v < n; v++ {
+		if eg.g.InDegree(v) == 0 {
+			eg.edges = append(eg.edges, Edge{In, v})
+		}
+	}
+	for _, e := range eg.g.Edges() {
+		eg.edges = append(eg.edges, Edge{e[0], e[1]})
+	}
+	for v := 0; v < n; v++ {
+		if eg.g.OutDegree(v) == 0 {
+			eg.edges = append(eg.edges, Edge{v, Out})
+		}
+	}
+	return eg, nil
+}
+
+// MustBuild is Build that panics on error, for fixed examples and tests.
+func MustBuild(app *workflow.App, edges [][2]int) *ExecGraph {
+	eg, err := Build(app, edges)
+	if err != nil {
+		panic(err)
+	}
+	return eg
+}
+
+// App returns the underlying application.
+func (eg *ExecGraph) App() *workflow.App { return eg.app }
+
+// Graph returns the service-to-service DAG. The caller must not modify it.
+func (eg *ExecGraph) Graph() *dag.Graph { return eg.g }
+
+// N returns the number of services.
+func (eg *ExecGraph) N() int { return eg.app.N() }
+
+// Topo returns a topological order of the services.
+func (eg *ExecGraph) Topo() []int { return eg.topo }
+
+// Ancestors returns the strict ancestor set of service v.
+func (eg *ExecGraph) Ancestors(v int) *bitset.Set { return eg.anc[v] }
+
+// InProd returns Π σ over the strict ancestors of v: the size of the data
+// set v receives (per predecessor path merge, as the paper assumes
+// independent selectivities and free joins).
+func (eg *ExecGraph) InProd(v int) rat.Rat { return eg.inProd[v] }
+
+// OutSize returns InProd(v)·σ_v: the volume v sends to each successor.
+func (eg *ExecGraph) OutSize(v int) rat.Rat { return eg.outSize[v] }
+
+// Edges returns every communication of the plan, including the virtual
+// input and output communications, in a deterministic order. The returned
+// slice is owned by the graph and must not be modified.
+func (eg *ExecGraph) Edges() []Edge { return eg.edges }
+
+// CommSize returns the data volume of edge e: δ0 = 1 for input comms, the
+// sender's OutSize otherwise.
+func (eg *ExecGraph) CommSize(e Edge) rat.Rat {
+	if e.From == In {
+		return rat.One
+	}
+	return eg.outSize[e.From]
+}
+
+// Cin returns the total incoming communication volume of service v
+// (lower bound on its receive time).
+func (eg *ExecGraph) Cin(v int) rat.Rat {
+	preds := eg.g.Pred(v)
+	if len(preds) == 0 {
+		return rat.One // input node sends δ0 = 1
+	}
+	s := rat.Zero
+	for _, p := range preds {
+		s = s.Add(eg.outSize[p])
+	}
+	return s
+}
+
+// Ccomp returns the computation time of service v: InProd(v)·c_v.
+func (eg *ExecGraph) Ccomp(v int) rat.Rat {
+	return eg.inProd[v].Mul(eg.app.Cost(v))
+}
+
+// Cout returns the total outgoing communication volume of v: one copy of
+// OutSize(v) per successor, or one copy to the output node for exit
+// services.
+func (eg *ExecGraph) Cout(v int) rat.Rat {
+	k := eg.g.OutDegree(v)
+	if k == 0 {
+		k = 1
+	}
+	return eg.outSize[v].MulInt(int64(k))
+}
+
+// Cexec returns the per-service period lower bound under the given model:
+// max{Cin, Ccomp, Cout} with overlap, Cin+Ccomp+Cout without.
+func (eg *ExecGraph) Cexec(v int, m Model) rat.Rat {
+	cin, ccomp, cout := eg.Cin(v), eg.Ccomp(v), eg.Cout(v)
+	if m == Overlap {
+		return rat.MaxOf(cin, ccomp, cout)
+	}
+	return cin.Add(ccomp).Add(cout)
+}
+
+// PeriodLowerBound returns max_v Cexec(v, m); the OVERLAP bound is always
+// achievable (Theorem 1), the one-port bounds are not (paper §2.3).
+func (eg *ExecGraph) PeriodLowerBound(m Model) rat.Rat {
+	if eg.N() == 0 {
+		return rat.Zero
+	}
+	bound := rat.Zero
+	for v := 0; v < eg.N(); v++ {
+		bound = rat.Max(bound, eg.Cexec(v, m))
+	}
+	return bound
+}
+
+// LatencyPathBound returns the longest-path latency lower bound: the
+// heaviest in-to-out path counting each computation and one copy of each
+// traversed communication. With one-port communications and a single path
+// this is exact; with branching it remains a valid lower bound for every
+// model.
+func (eg *ExecGraph) LatencyPathBound() rat.Rat {
+	if eg.N() == 0 {
+		return rat.Zero
+	}
+	// done[v] = earliest completion of v's computation along the heaviest
+	// path; result adds the exit communication.
+	done := make([]rat.Rat, eg.N())
+	best := rat.Zero
+	for _, v := range eg.topo {
+		start := rat.One // in-comm from the input node
+		for _, p := range eg.g.Pred(v) {
+			t := done[p].Add(eg.outSize[p])
+			start = rat.Max(start, t)
+		}
+		if eg.g.InDegree(v) == 0 {
+			start = rat.One
+		}
+		done[v] = start.Add(eg.Ccomp(v))
+		if eg.g.OutDegree(v) == 0 {
+			best = rat.Max(best, done[v].Add(eg.outSize[v]))
+		}
+	}
+	return best
+}
+
+// IsForest reports whether the execution graph is a forest (every service
+// has at most one direct predecessor), the structure that Prop. 4 proves
+// sufficient for MINPERIOD without precedence constraints.
+func (eg *ExecGraph) IsForest() bool { return eg.g.IsForest() }
+
+// IsChain reports whether the execution graph is a single linear chain.
+func (eg *ExecGraph) IsChain() bool { return eg.g.IsChain() }
+
+// String renders a compact description of the graph with per-service costs.
+func (eg *ExecGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ExecGraph{%d services", eg.N())
+	var es []string
+	for _, e := range eg.g.Edges() {
+		es = append(es, fmt.Sprintf("%s->%s", eg.app.Name(e[0]), eg.app.Name(e[1])))
+	}
+	sort.Strings(es)
+	if len(es) > 0 {
+		fmt.Fprintf(&b, "; %s", strings.Join(es, ", "))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Describe renders a per-service cost table (Cin, Ccomp, Cout, Cexec for
+// both model families), for diagnostics and the CLI.
+func (eg *ExecGraph) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %14s %14s\n", "service", "Cin", "Ccomp", "Cout", "Cexec(ovl)", "Cexec(1port)")
+	for v := 0; v < eg.N(); v++ {
+		fmt.Fprintf(&b, "%-10s %12s %12s %12s %14s %14s\n",
+			eg.app.Name(v), eg.Cin(v), eg.Ccomp(v), eg.Cout(v),
+			eg.Cexec(v, Overlap), eg.Cexec(v, InOrder))
+	}
+	return b.String()
+}
+
+// ChainFromOrder builds the linear-chain execution graph visiting services
+// in the given order (a permutation of 0..N-1).
+func ChainFromOrder(app *workflow.App, order []int) (*ExecGraph, error) {
+	if len(order) != app.N() {
+		return nil, fmt.Errorf("plan: order has %d entries, want %d", len(order), app.N())
+	}
+	edges := make([][2]int, 0, len(order)-1)
+	for i := 0; i+1 < len(order); i++ {
+		edges = append(edges, [2]int{order[i], order[i+1]})
+	}
+	return Build(app, edges)
+}
+
+// Parallel builds the execution graph with no edges at all: every service
+// is independent, fed directly by its input node.
+func Parallel(app *workflow.App) (*ExecGraph, error) {
+	return Build(app, nil)
+}

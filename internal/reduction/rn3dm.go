@@ -1,0 +1,102 @@
+// Package reduction makes the paper's NP-hardness proofs executable: it
+// builds the RN3DM and 2-Partition gadget instances of Propositions 2, 5,
+// 9, 13 and 17, together with the witness plans/orders their YES directions
+// prescribe, so the reductions can be machine-checked against the solvers
+// and orchestrators on small instances.
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RN3DM is an instance of the permutation-sums problem (a restricted
+// 3-dimensional matching, Yu/Hoogeveen/Lenstra): given an integer vector A,
+// do two permutations λ1, λ2 of {1..n} exist with λ1(i)+λ2(i) = A[i]?
+type RN3DM struct {
+	A []int
+}
+
+// N returns the instance size.
+func (r RN3DM) N() int { return len(r.A) }
+
+// Valid reports whether the instance passes the necessary conditions
+// 2 ≤ A[i] ≤ 2n and ΣA[i] = n(n+1); instances failing them are trivially NO.
+func (r RN3DM) Valid() bool {
+	n := len(r.A)
+	sum := 0
+	for _, a := range r.A {
+		if a < 2 || a > 2*n {
+			return false
+		}
+		sum += a
+	}
+	return sum == n*(n+1)
+}
+
+// Solve searches for the two permutations by backtracking (exponential;
+// intended for the small instances the gadget checks use). It returns
+// 1-based permutations λ1, λ2 with λ1[i]+λ2[i] == A[i], or ok == false.
+func (r RN3DM) Solve() (lam1, lam2 []int, ok bool) {
+	n := len(r.A)
+	if !r.Valid() {
+		return nil, nil, false
+	}
+	lam1 = make([]int, n)
+	lam2 = make([]int, n)
+	used1 := make([]bool, n+1)
+	used2 := make([]bool, n+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for v := 1; v <= n; v++ {
+			w := r.A[i] - v
+			if w < 1 || w > n || used1[v] || used2[w] {
+				continue
+			}
+			used1[v], used2[w] = true, true
+			lam1[i], lam2[i] = v, w
+			if rec(i + 1) {
+				return true
+			}
+			used1[v], used2[w] = false, false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, nil, false
+	}
+	return lam1, lam2, true
+}
+
+// RandomYes draws a YES instance by composing two random permutations.
+func RandomYes(rng *rand.Rand, n int) RN3DM {
+	p1 := rng.Perm(n)
+	p2 := rng.Perm(n)
+	a := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = p1[i] + 1 + p2[i] + 1
+	}
+	return RN3DM{A: a}
+}
+
+// NoInstance returns a valid-looking (sum and range conditions hold) NO
+// instance for n ≥ 4: two entries equal to 2 force λ1(i)=λ2(i)=1 twice,
+// which no permutation pair allows. For n < 4 every vector satisfying the
+// necessary conditions is solvable, so no such instance exists.
+func NoInstance(n int) (RN3DM, error) {
+	if n < 4 {
+		return RN3DM{}, fmt.Errorf("reduction: every valid RN3DM instance with n=%d is YES", n)
+	}
+	a := []int{2, 2, 2 * n, 2 * n}
+	for i := 4; i < n; i++ {
+		a = append(a, n+1)
+	}
+	r := RN3DM{A: a}
+	if !r.Valid() {
+		return RN3DM{}, fmt.Errorf("reduction: internal error: NO instance fails validity")
+	}
+	return r, nil
+}

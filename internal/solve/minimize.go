@@ -1,0 +1,481 @@
+package solve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/orchestrate"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// evaluate orchestrates the objective on one candidate execution graph.
+func evaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, orch orchestrate.Options) (orchestrate.Result, error) {
+	w := eg.Weighted()
+	if obj == PeriodObjective {
+		return orchestrate.Period(w, m, orch)
+	}
+	return orchestrate.Latency(w, m, orch)
+}
+
+// MinPeriod solves MINPERIOD for the application under model m.
+func MinPeriod(app *workflow.App, m plan.Model, opts Options) (Solution, error) {
+	return minimize(app, m, PeriodObjective, opts)
+}
+
+// MinLatency solves MINLATENCY for the application under model m.
+func MinLatency(app *workflow.App, m plan.Model, opts Options) (Solution, error) {
+	return minimize(app, m, LatencyObjective, opts)
+}
+
+func minimize(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	method := opts.Method
+	if method == Auto {
+		method = autoMethod(app, obj, opts)
+	}
+	switch method {
+	case GreedyChain:
+		return greedyChainSolution(app, m, obj, opts)
+	case ExactChain:
+		return exactChain(app, m, obj, opts)
+	case ExactForest:
+		return exactForest(app, m, obj, opts)
+	case ExactDAG:
+		return exactDAG(app, m, obj, opts)
+	case HillClimb:
+		return hillClimb(app, m, obj, opts)
+	default:
+		return Solution{}, fmt.Errorf("solve: unknown method %v", opts.Method)
+	}
+}
+
+func autoMethod(app *workflow.App, obj Objective, opts Options) Method {
+	n := app.N()
+	if app.HasPrecedence() {
+		// DAG enumeration costs 3^(n(n-1)/2) orchestrations; keep the
+		// automatic cutoff low and let callers raise MaxExactN knowingly.
+		if n <= maxN(opts, 4) {
+			return ExactDAG
+		}
+		return HillClimb
+	}
+	if obj == PeriodObjective && n <= maxN(opts, 6) {
+		return ExactForest // sufficient by Prop. 4
+	}
+	if obj == LatencyObjective && n <= maxN(opts, 4) {
+		return ExactDAG
+	}
+	return HillClimb
+}
+
+func maxN(opts Options, def int) int {
+	if opts.MaxExactN > 0 {
+		return opts.MaxExactN
+	}
+	return def
+}
+
+// greedyChainSolution builds the paper's greedy chain and orchestrates it.
+func greedyChainSolution(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	if app.HasPrecedence() {
+		return Solution{}, fmt.Errorf("solve: the chain greedy applies only without precedence constraints")
+	}
+	var order []int
+	if obj == PeriodObjective {
+		order = GreedyChainOrder(app, m)
+	} else {
+		order = GreedyLatencyChainOrder(app)
+	}
+	eg, err := plan.ChainFromOrder(app, order)
+	if err != nil {
+		return Solution{}, err
+	}
+	sched, err := evaluate(eg, m, obj, opts.Orch)
+	if err != nil {
+		return Solution{}, err
+	}
+	// Optimal among chains (Prop. 8 / Prop. 16), not globally.
+	return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
+}
+
+// exactChain enumerates all chains using the closed-form objective values
+// and orchestrates only the winner.
+func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	if app.HasPrecedence() {
+		return Solution{}, fmt.Errorf("solve: chain enumeration requires no precedence constraints")
+	}
+	n := app.N()
+	if n > maxN(opts, 8) {
+		return Solution{}, fmt.Errorf("solve: %d services too large for exact chain enumeration (max %d)", n, maxN(opts, 8))
+	}
+	var best []int
+	var bestVal rat.Rat
+	forEachChain(n, func(order []int) bool {
+		var v rat.Rat
+		if obj == PeriodObjective {
+			v = ChainPeriodValue(app, order, m)
+		} else {
+			v = ChainLatencyValue(app, order)
+		}
+		if best == nil || v.Less(bestVal) {
+			best = append(best[:0], order...)
+			bestVal = v
+		}
+		return true
+	})
+	eg, err := plan.ChainFromOrder(app, best)
+	if err != nil {
+		return Solution{}, err
+	}
+	sched, err := evaluate(eg, m, obj, opts.Orch)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
+}
+
+// exactForest enumerates all forests. For MINPERIOD without precedence
+// constraints this family provably contains an optimal plan (Prop. 4), so
+// the result is globally optimal when the orchestration is exact.
+func exactForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	if app.HasPrecedence() {
+		return Solution{}, fmt.Errorf("solve: forest enumeration requires no precedence constraints")
+	}
+	n := app.N()
+	if n > maxN(opts, 6) {
+		return Solution{}, fmt.Errorf("solve: %d services too large for exact forest enumeration (max %d)", n, maxN(opts, 6))
+	}
+	var sol Solution
+	var firstErr error
+	forEachForest(n, func(parent []int) bool {
+		eg, err := plan.FromGraph(app, forestGraph(parent))
+		if err != nil {
+			return true
+		}
+		sched, err := evaluate(eg, m, obj, opts.Orch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		if sol.Graph == nil || sched.Value.Less(sol.Value) {
+			sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
+		}
+		return true
+	})
+	if sol.Graph == nil {
+		return Solution{}, fmt.Errorf("solve: forest enumeration found no plan: %v", firstErr)
+	}
+	sol.Exact = obj == PeriodObjective && sol.Sched.Exact && m != plan.OutOrder
+	return sol, nil
+}
+
+// exactDAG enumerates all DAGs containing the precedence constraints.
+func exactDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	n := app.N()
+	if n > maxN(opts, 5) {
+		return Solution{}, fmt.Errorf("solve: %d services too large for exact DAG enumeration (max %d)", n, maxN(opts, 5))
+	}
+	var sol Solution
+	var firstErr error
+	forEachDAG(n, func(g *dag.Graph) bool {
+		eg, err := plan.FromGraph(app, g)
+		if err != nil {
+			return true // violates precedence constraints
+		}
+		sched, err := evaluate(eg, m, obj, opts.Orch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		if sol.Graph == nil || sched.Value.Less(sol.Value) {
+			sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
+		}
+		return true
+	})
+	if sol.Graph == nil {
+		return Solution{}, fmt.Errorf("solve: DAG enumeration found no plan: %v", firstErr)
+	}
+	// DAGs are fully general: exact whenever the orchestration is.
+	sol.Exact = sol.Sched.Exact && exactOrchestration(m, obj)
+	return sol, nil
+}
+
+// exactOrchestration reports whether the orchestration layer explores the
+// full schedule space for the model/objective pair, so that exhaustive
+// graph enumeration yields a certified optimum.
+func exactOrchestration(m plan.Model, obj Objective) bool {
+	if obj == PeriodObjective {
+		// OVERLAP is Theorem-1 optimal; INORDER order search is complete
+		// for the model; the OUTORDER family is a (pipelined) subset.
+		return m != plan.OutOrder
+	}
+	// Latency: one-port order search is complete; the multi-port
+	// bandwidth-sharing construction is heuristic.
+	return m != plan.Overlap
+}
+
+// hillClimb performs randomized local search: over forests (parent vectors)
+// without precedence constraints, over DAG edge sets with them. Seeds: the
+// parallel plan, the greedy chain, plus random restarts.
+func hillClimb(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if app.HasPrecedence() {
+		return hillClimbDAG(app, m, obj, opts, rng)
+	}
+	return hillClimbForest(app, m, obj, opts, rng)
+}
+
+func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Options, rng *rand.Rand) (Solution, error) {
+	n := app.N()
+	// Evaluation budget: full orchestration per candidate is the dominant
+	// cost, so the neighborhood is sampled on large instances and the
+	// climb stops when the budget runs out.
+	budget := 400 + 40*n
+	evalParent := func(parent []int) (Solution, error) {
+		budget--
+		eg, err := plan.FromGraph(app, forestGraph(parent))
+		if err != nil {
+			return Solution{}, err
+		}
+		sched, err := evaluate(eg, m, obj, opts.Orch)
+		if err != nil {
+			return Solution{}, err
+		}
+		return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
+	}
+	// candidateParents returns the parents to try for node v: all of them
+	// on small instances, a random sample above.
+	candidateParents := func(v int) []int {
+		const sampleLimit = 12
+		if n <= sampleLimit {
+			out := make([]int, 0, n)
+			out = append(out, -1)
+			for p := 0; p < n; p++ {
+				if p != v {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+		out := []int{-1}
+		for len(out) < sampleLimit {
+			p := rng.Intn(n)
+			if p != v {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	// Seed 1: parallel plan. Seed 2: greedy chain. Then random forests.
+	seeds := [][]int{make([]int, n)}
+	for i := range seeds[0] {
+		seeds[0][i] = -1
+	}
+	var chainOrder []int
+	if obj == PeriodObjective {
+		chainOrder = GreedyChainOrder(app, m)
+	} else {
+		chainOrder = GreedyLatencyChainOrder(app)
+	}
+	chainParent := make([]int, n)
+	chainParent[chainOrder[0]] = -1
+	for i := 1; i < n; i++ {
+		chainParent[chainOrder[i]] = chainOrder[i-1]
+	}
+	seeds = append(seeds, chainParent)
+	for r := 0; r < opts.Restarts; r++ {
+		p := make([]int, n)
+		perm := rng.Perm(n)
+		p[perm[0]] = -1
+		for i := 1; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				p[perm[i]] = -1
+			} else {
+				p[perm[i]] = perm[rng.Intn(i)]
+			}
+		}
+		seeds = append(seeds, p)
+	}
+
+	var best Solution
+	for _, seed := range seeds {
+		cur := append([]int(nil), seed...)
+		curSol, err := evalParent(cur)
+		if err != nil {
+			continue
+		}
+		if best.Graph == nil || curSol.Value.Less(best.Value) {
+			best = curSol
+		}
+		for improved := true; improved && budget > 0; {
+			improved = false
+			for v := 0; v < n && budget > 0; v++ {
+				old := cur[v]
+				for _, p := range candidateParents(v) {
+					if p == old {
+						continue
+					}
+					cur[v] = p
+					if p >= 0 && createsCycle(cur, v) {
+						cur[v] = old
+						continue
+					}
+					sol, err := evalParent(cur)
+					if err == nil && sol.Value.Less(curSol.Value) {
+						curSol = sol
+						old = p
+						improved = true
+						if sol.Value.Less(best.Value) {
+							best = sol
+						}
+					} else {
+						cur[v] = old
+					}
+					if budget <= 0 {
+						break
+					}
+				}
+			}
+		}
+	}
+	if best.Graph == nil {
+		return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan")
+	}
+	return best, nil
+}
+
+// createsCycle reports whether parent pointers starting at parent[v] reach v.
+func createsCycle(parent []int, v int) bool {
+	for a := parent[v]; a != -1; a = parent[a] {
+		if a == v {
+			return true
+		}
+	}
+	return false
+}
+
+func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options, rng *rand.Rand) (Solution, error) {
+	n := app.N()
+	budget := 400 + 40*n
+	evalGraph := func(g *dag.Graph) (Solution, error) {
+		budget--
+		eg, err := plan.FromGraph(app, g)
+		if err != nil {
+			return Solution{}, err
+		}
+		sched, err := evaluate(eg, m, obj, opts.Orch)
+		if err != nil {
+			return Solution{}, err
+		}
+		return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
+	}
+	cur := app.Precedence().Clone()
+	curSol, err := evalGraph(cur)
+	if err != nil {
+		return Solution{}, err
+	}
+	best := curSol
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for u := 0; u < n && budget > 0; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				var undo func()
+				if cur.HasEdge(u, v) {
+					cur.RemoveEdge(u, v)
+					undo = func() { cur.AddEdge(u, v) }
+				} else {
+					cur.AddEdge(u, v)
+					undo = func() { cur.RemoveEdge(u, v) }
+				}
+				if !cur.IsAcyclic() {
+					undo()
+					continue
+				}
+				sol, err := evalGraph(cur)
+				if err == nil && sol.Value.Less(curSol.Value) {
+					curSol = sol
+					improved = true
+					if sol.Value.Less(best.Value) {
+						best = sol
+					}
+				} else {
+					undo()
+				}
+			}
+		}
+	}
+	_ = rng
+	return best, nil
+}
+
+// BiCriteria minimizes latency subject to a period bound (the bi-criteria
+// problem the paper's conclusion raises): it scans the forest family (plus
+// the greedy chains) for plans whose period under m stays within bound and
+// returns the best-latency one.
+func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Options) (Solution, error) {
+	if app.HasPrecedence() {
+		return Solution{}, fmt.Errorf("solve: BiCriteria requires no precedence constraints")
+	}
+	opts = opts.withDefaults()
+	n := app.N()
+	var best Solution
+	tryGraph := func(eg *plan.ExecGraph) {
+		w := eg.Weighted()
+		per, err := orchestrate.Period(w, m, opts.Orch)
+		if err != nil || per.Value.Greater(periodBound) {
+			return
+		}
+		lat, err := orchestrate.Latency(w, m, opts.Orch)
+		if err != nil {
+			return
+		}
+		if best.Graph == nil || lat.Value.Less(best.Value) {
+			best = Solution{Graph: eg, Sched: lat, Value: lat.Value}
+		}
+	}
+	if n <= maxN(opts, 6) {
+		forEachForest(n, func(parent []int) bool {
+			if eg, err := plan.FromGraph(app, forestGraph(parent)); err == nil {
+				tryGraph(eg)
+			}
+			return true
+		})
+	} else {
+		// Structured candidates: parallel, both greedy chains, and greedy
+		// chains split into k parallel sub-chains.
+		if eg, err := plan.Parallel(app); err == nil {
+			tryGraph(eg)
+		}
+		for _, order := range [][]int{GreedyChainOrder(app, m), GreedyLatencyChainOrder(app)} {
+			if eg, err := plan.ChainFromOrder(app, order); err == nil {
+				tryGraph(eg)
+			}
+			for k := 2; k <= 4 && k <= n; k++ {
+				var edges [][2]int
+				for i := 0; i < n; i++ {
+					if i >= k {
+						edges = append(edges, [2]int{order[i-k], order[i]})
+					}
+				}
+				if eg, err := plan.Build(app, edges); err == nil {
+					tryGraph(eg)
+				}
+			}
+		}
+	}
+	if best.Graph == nil {
+		return Solution{}, fmt.Errorf("solve: no plan meets period bound %s under %s", periodBound, m)
+	}
+	return best, nil
+}

@@ -1,0 +1,339 @@
+// Package solve implements the paper's plan-level optimization problems:
+// MINPERIOD and MINLATENCY — find an execution graph together with an
+// operation list minimizing the period or the latency under one of the
+// three communication models (§4.2 and §5.2).
+//
+// Both problems are NP-hard for every model (Theorems 2 and 4), so the
+// package provides:
+//
+//   - the polynomial special cases proved in the paper: greedy chain
+//     construction for MINPERIOD (Prop. 8) and MINLATENCY (Prop. 16)
+//     restricted to linear-chain plans;
+//   - exact solvers by exhaustive enumeration of chains, forests (which
+//     Prop. 4 shows sufficient for MINPERIOD without precedence
+//     constraints) and general DAGs, for small instances;
+//   - hill-climbing heuristics over forests and DAGs for everything else.
+package solve
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/orchestrate"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// Method selects the search strategy.
+type Method int
+
+const (
+	// Auto picks: exact enumeration when the instance is small enough,
+	// otherwise hill climbing seeded with the greedy chain.
+	Auto Method = iota
+	// GreedyChain builds the paper's greedy chain (polynomial; optimal
+	// among chain plans).
+	GreedyChain
+	// ExactChain enumerates all n! chains.
+	ExactChain
+	// ExactForest enumerates all forests (optimal for MINPERIOD without
+	// precedence constraints, by Prop. 4).
+	ExactForest
+	// ExactDAG enumerates all DAGs (only feasible for tiny instances).
+	ExactDAG
+	// HillClimb runs randomized local search over forests (or DAGs when
+	// precedence constraints force merges).
+	HillClimb
+)
+
+// String names the method for reports.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case GreedyChain:
+		return "greedy-chain"
+	case ExactChain:
+		return "exact-chain"
+	case ExactForest:
+		return "exact-forest"
+	case ExactDAG:
+		return "exact-dag"
+	case HillClimb:
+		return "hill-climb"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tunes the solvers. The zero value requests defaults.
+type Options struct {
+	Method Method
+	// Orch is passed to the orchestration layer.
+	Orch orchestrate.Options
+	// MaxExactN caps instance sizes accepted by the exact methods
+	// (default: 8 chains, 6 forests, 5 DAGs).
+	MaxExactN int
+	// Seed drives the randomized restarts of HillClimb.
+	Seed int64
+	// Restarts is the number of random restarts for HillClimb (default 3).
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	// Plan search evaluates thousands of candidate graphs; the
+	// orchestration random-restart sampling is worth its cost only on a
+	// single graph, so the inner loop disables it unless explicitly
+	// requested.
+	if o.Orch.RandomSamples == 0 {
+		o.Orch.RandomSamples = -1
+	}
+	return o
+}
+
+// Solution is a complete plan: execution graph, operation list, objective
+// value, and whether global optimality is guaranteed.
+type Solution struct {
+	Graph *plan.ExecGraph
+	Sched orchestrate.Result
+	Value rat.Rat
+	// Exact is true when the solver proves global optimality: the searched
+	// structural family provably contains an optimal plan AND the
+	// orchestration was exact.
+	Exact bool
+}
+
+// Objective selects period or latency.
+type Objective int
+
+const (
+	// PeriodObjective minimizes the period (inverse throughput).
+	PeriodObjective Objective = iota
+	// LatencyObjective minimizes the latency (response time).
+	LatencyObjective
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == PeriodObjective {
+		return "period"
+	}
+	return "latency"
+}
+
+// --- chain construction (Prop. 8 and Prop. 16) ---
+
+// GreedyChainOrder returns the paper's optimal-among-chains service order
+// for MINPERIOD (Prop. 8): services with selectivity < 1 first by
+// increasing c' (c' = 1+c+σ one-port, max(1,c) with overlap), followed by
+// the others by increasing σ/c'.
+func GreedyChainOrder(app *workflow.App, m plan.Model) []int {
+	n := app.N()
+	cPrime := func(i int) rat.Rat {
+		if m == plan.Overlap {
+			return rat.Max(rat.One, app.Cost(i))
+		}
+		return rat.One.Add(app.Cost(i)).Add(app.Selectivity(i))
+	}
+	var shrink, grow []int
+	for i := 0; i < n; i++ {
+		if app.Selectivity(i).Less(rat.One) {
+			shrink = append(shrink, i)
+		} else {
+			grow = append(grow, i)
+		}
+	}
+	sortBy(shrink, func(a, b int) bool { return cPrime(a).Less(cPrime(b)) })
+	sortBy(grow, func(a, b int) bool {
+		// increasing σ/c' ⟺ σ_a·c'_b < σ_b·c'_a
+		return app.Selectivity(a).Mul(cPrime(b)).Less(app.Selectivity(b).Mul(cPrime(a)))
+	})
+	return append(shrink, grow...)
+}
+
+// GreedyLatencyChainOrder returns the paper's optimal-among-chains order
+// for MINLATENCY (Prop. 16): decreasing (1−σ)/(1+c).
+func GreedyLatencyChainOrder(app *workflow.App) []int {
+	order := make([]int, app.N())
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) (num, den rat.Rat) {
+		return rat.One.Sub(app.Selectivity(i)), rat.One.Add(app.Cost(i))
+	}
+	sortBy(order, func(a, b int) bool {
+		na, da := key(a)
+		nb, db := key(b)
+		// na/da > nb/db ⟺ na·db > nb·da (denominators positive).
+		return na.Mul(db).Greater(nb.Mul(da))
+	})
+	return order
+}
+
+func sortBy(s []int, less func(a, b int) bool) {
+	// Insertion sort keeps this dependency-free and stable; n is small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ChainPeriodValue computes the exact period of the chain plan visiting
+// services in the given order: all three models reach the per-server lower
+// bound on chains (no cross-server critical cycle exists).
+func ChainPeriodValue(app *workflow.App, order []int, m plan.Model) rat.Rat {
+	inProd := rat.One
+	best := rat.Zero
+	for _, s := range order {
+		cin := inProd
+		ccomp := inProd.Mul(app.Cost(s))
+		cout := inProd.Mul(app.Selectivity(s))
+		var v rat.Rat
+		if m == plan.Overlap {
+			v = rat.MaxOf(cin, ccomp, cout)
+		} else {
+			v = cin.Add(ccomp).Add(cout)
+		}
+		best = rat.Max(best, v)
+		inProd = cout
+	}
+	return best
+}
+
+// ChainLatencyValue computes the exact latency of the chain plan: the
+// single path's total communication and computation time (identical for
+// all models on a chain).
+func ChainLatencyValue(app *workflow.App, order []int) rat.Rat {
+	t := rat.One // input communication
+	inProd := rat.One
+	for _, s := range order {
+		t = t.Add(inProd.Mul(app.Cost(s)))
+		inProd = inProd.Mul(app.Selectivity(s))
+		t = t.Add(inProd) // communication to the successor (or output)
+	}
+	return t
+}
+
+// --- enumeration of structural families ---
+
+// forEachChain enumerates all n! chain orders.
+func forEachChain(n int, fn func(order []int) bool) {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	permuteAll(order, 0, fn)
+}
+
+func permuteAll(s []int, k int, fn func([]int) bool) bool {
+	if k == len(s) {
+		return fn(s)
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		if !permuteAll(s, k+1, fn) {
+			s[k], s[i] = s[i], s[k]
+			return false
+		}
+		s[k], s[i] = s[i], s[k]
+	}
+	return true
+}
+
+// forEachForest enumerates every forest over n nodes as a parent vector
+// (parent[v] == -1 for roots), (n+1)^(n-1)... in fact all assignments with
+// cycle rejection. fn receives the parent slice (not to be retained).
+func forEachForest(n int, fn func(parent []int) bool) {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == n {
+			return fn(parent)
+		}
+		parent[v] = -1
+		if !rec(v + 1) {
+			return false
+		}
+		for p := 0; p < n; p++ {
+			if p == v {
+				continue
+			}
+			// Reject if choosing p as v's parent closes a cycle: walk p's
+			// ancestor chain (unassigned nodes still have parent -1).
+			cyc := false
+			for a := p; a != -1; a = parent[a] {
+				if a == v {
+					cyc = true
+					break
+				}
+			}
+			if cyc {
+				continue
+			}
+			parent[v] = p
+			if !rec(v + 1) {
+				return false
+			}
+		}
+		parent[v] = -1
+		return true
+	}
+	rec(0)
+}
+
+// forestGraph converts a parent vector into a DAG.
+func forestGraph(parent []int) *dag.Graph {
+	g := dag.New(len(parent))
+	for v, p := range parent {
+		if p >= 0 {
+			g.AddEdge(p, v)
+		}
+	}
+	return g
+}
+
+// forEachDAG enumerates every labeled DAG on n nodes: each unordered pair
+// gets one of {no edge, u→v, v→u}, filtered by acyclicity. 3^(n(n-1)/2)
+// candidates, so this is for n ≤ 5.
+func forEachDAG(n int, fn func(g *dag.Graph) bool) {
+	type pair struct{ u, v int }
+	var pairs []pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{u, v})
+		}
+	}
+	g := dag.New(n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pairs) {
+			if g.IsAcyclic() {
+				return fn(g)
+			}
+			return true
+		}
+		p := pairs[i]
+		if !rec(i + 1) {
+			return false
+		}
+		g.AddEdge(p.u, p.v)
+		ok := rec(i + 1)
+		g.RemoveEdge(p.u, p.v)
+		if !ok {
+			return false
+		}
+		g.AddEdge(p.v, p.u)
+		ok = rec(i + 1)
+		g.RemoveEdge(p.v, p.u)
+		return ok
+	}
+	rec(0)
+}

@@ -1,0 +1,90 @@
+// Package texttab renders small plain-text and Markdown tables for the
+// experiment harness and CLI output. It is deliberately tiny: fixed-width
+// text columns sized to their content, no wrapping.
+package texttab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows under a fixed header.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: append([]string(nil), header...)}
+}
+
+// Row appends a row; values are formatted with %v. Rows shorter than the
+// header are padded, longer ones are truncated.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = fmt.Sprint(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// widths returns the per-column content widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.header))
+	for i, h := range t.header {
+		w[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if l := len([]rune(c)); l > w[i] {
+				w[i] = l
+			}
+		}
+	}
+	return w
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	w := t.widths()
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", w[i]-len([]rune(c))))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}

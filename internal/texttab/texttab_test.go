@@ -1,0 +1,52 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tab := New("name", "value").Row("x", 1).Row("longer-name", "23/3")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// All lines align: the "value" column starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "23/3") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tab := New("a", "b").Row("only-one").Row("x", "y", "extra-dropped")
+	out := tab.String()
+	if strings.Contains(out, "extra-dropped") {
+		t.Fatal("extra cell not truncated")
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := New("h1", "h2").Row("a", "b").Markdown()
+	want := "| h1 | h2 |\n| --- | --- |\n| a | b |\n"
+	if md != want {
+		t.Fatalf("markdown = %q", md)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	out := New("σ", "λ").Row("9999/10000", "23/3").String()
+	if !strings.Contains(out, "σ") || !strings.Contains(out, "23/3") {
+		t.Fatal("unicode header lost")
+	}
+}

@@ -1,0 +1,50 @@
+package workflow
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTestdataInstancesLoad ensures the shipped instance files stay valid.
+func TestTestdataInstancesLoad(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		found++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var app App
+		if err := json.Unmarshal(data, &app); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if app.N() == 0 {
+			t.Fatalf("%s: empty instance", e.Name())
+		}
+		// Round trip must be lossless.
+		out, err := json.Marshal(&app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back App
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != app.N() || back.Precedence().EdgeCount() != app.Precedence().EdgeCount() {
+			t.Fatalf("%s: lossy round trip", e.Name())
+		}
+	}
+	if found < 2 {
+		t.Fatalf("expected at least 2 testdata instances, found %d", found)
+	}
+}

@@ -1,0 +1,229 @@
+// Package workflow defines the application model of the paper: a set of
+// services (filters) with costs and selectivities, linked by precedence
+// constraints, to be mapped one-to-one onto a homogeneous platform.
+//
+// Everything is expressed in the paper's normalized units (input size
+// δ0 = 1, bandwidth b = 1, speed s = 1); Normalize converts a physical
+// description into this form and reports the factor with which computed
+// periods and latencies must be re-scaled.
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/rat"
+)
+
+// Service is one filter: it consumes a data set of size δ, spends c·δ time
+// units computing, and emits a data set of size σ·δ.
+type Service struct {
+	// Name identifies the service in output and instance files. Empty names
+	// are given the default "C<index+1>" (1-based, following the paper).
+	Name string
+	// Cost is the elementary cost c ≥ 0 per unit of input data.
+	Cost rat.Rat
+	// Selectivity is the output/input size ratio σ ≥ 0. σ < 1 filters
+	// (shrinks) the stream; σ > 1 expands it.
+	Selectivity rat.Rat
+}
+
+// App is an application A = (F, G): services plus precedence constraints.
+type App struct {
+	services []Service
+	prec     *dag.Graph
+}
+
+// New builds an application from its services and precedence edges (pairs of
+// service indices). It validates costs, selectivities and acyclicity.
+func New(services []Service, precEdges [][2]int) (*App, error) {
+	a := &App{
+		services: make([]Service, len(services)),
+		prec:     dag.New(len(services)),
+	}
+	copy(a.services, services)
+	names := make(map[string]int)
+	for i := range a.services {
+		s := &a.services[i]
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("C%d", i+1)
+		}
+		if prev, dup := names[s.Name]; dup {
+			return nil, fmt.Errorf("workflow: duplicate service name %q (indices %d and %d)", s.Name, prev, i)
+		}
+		names[s.Name] = i
+		if s.Cost.Sign() < 0 {
+			return nil, fmt.Errorf("workflow: service %q has negative cost %s", s.Name, s.Cost)
+		}
+		if s.Selectivity.Sign() < 0 {
+			return nil, fmt.Errorf("workflow: service %q has negative selectivity %s", s.Name, s.Selectivity)
+		}
+	}
+	for _, e := range precEdges {
+		if e[0] < 0 || e[0] >= len(services) || e[1] < 0 || e[1] >= len(services) {
+			return nil, fmt.Errorf("workflow: precedence edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("workflow: precedence self-loop on service %d", e[0])
+		}
+		a.prec.AddEdge(e[0], e[1])
+	}
+	if !a.prec.IsAcyclic() {
+		return nil, fmt.Errorf("workflow: precedence constraints contain a cycle")
+	}
+	return a, nil
+}
+
+// MustNew is New that panics on error, for tests and fixed examples.
+func MustNew(services []Service, precEdges [][2]int) *App {
+	a, err := New(services, precEdges)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// N returns the number of services.
+func (a *App) N() int { return len(a.services) }
+
+// Service returns the i-th service.
+func (a *App) Service(i int) Service { return a.services[i] }
+
+// Services returns a copy of the service list.
+func (a *App) Services() []Service {
+	out := make([]Service, len(a.services))
+	copy(out, a.services)
+	return out
+}
+
+// Cost returns c_i.
+func (a *App) Cost(i int) rat.Rat { return a.services[i].Cost }
+
+// Selectivity returns σ_i.
+func (a *App) Selectivity(i int) rat.Rat { return a.services[i].Selectivity }
+
+// Name returns the name of service i.
+func (a *App) Name(i int) string { return a.services[i].Name }
+
+// IndexOf returns the index of the service with the given name, or -1.
+func (a *App) IndexOf(name string) int {
+	for i := range a.services {
+		if a.services[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Precedence returns the precedence-constraint graph. The caller must not
+// modify it.
+func (a *App) Precedence() *dag.Graph { return a.prec }
+
+// HasPrecedence reports whether the application has any precedence
+// constraints (the paper's NP-hardness results hold even without them).
+func (a *App) HasPrecedence() bool { return a.prec.EdgeCount() > 0 }
+
+// Clone returns an independent copy.
+func (a *App) Clone() *App {
+	c := &App{services: a.Services(), prec: a.prec.Clone()}
+	return c
+}
+
+// Normalize converts a physical instance (input size delta0, link bandwidth
+// bw, server speed speed) into the paper's normalized form: each cost is
+// scaled as c ← c·bw/speed so that letting δ0 = b = s = 1 preserves all
+// relative durations. The returned scale is δ0/bw: multiply periods and
+// latencies computed on the normalized instance by it to recover physical
+// time units.
+func (a *App) Normalize(delta0, bw, speed rat.Rat) (*App, rat.Rat, error) {
+	if delta0.Sign() <= 0 || bw.Sign() <= 0 || speed.Sign() <= 0 {
+		return nil, rat.Zero, fmt.Errorf("workflow: delta0, bandwidth and speed must be positive")
+	}
+	c := a.Clone()
+	factor := bw.Div(speed)
+	for i := range c.services {
+		c.services[i].Cost = a.services[i].Cost.Mul(factor)
+	}
+	return c, delta0.Div(bw), nil
+}
+
+// --- JSON instance files ---
+
+type serviceJSON struct {
+	Name        string  `json:"name,omitempty"`
+	Cost        rat.Rat `json:"cost"`
+	Selectivity rat.Rat `json:"selectivity"`
+}
+
+type appJSON struct {
+	Services   []serviceJSON `json:"services"`
+	Precedence [][2]string   `json:"precedence,omitempty"`
+}
+
+// MarshalJSON encodes the application as a self-describing instance file
+// with exact rational costs and selectivities.
+func (a *App) MarshalJSON() ([]byte, error) {
+	doc := appJSON{Services: make([]serviceJSON, a.N())}
+	for i, s := range a.services {
+		doc.Services[i] = serviceJSON{Name: s.Name, Cost: s.Cost, Selectivity: s.Selectivity}
+	}
+	for _, e := range a.prec.Edges() {
+		doc.Precedence = append(doc.Precedence, [2]string{a.Name(e[0]), a.Name(e[1])})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalJSON decodes an instance file produced by MarshalJSON (or written
+// by hand; names may be omitted and default to C1, C2, ...).
+func (a *App) UnmarshalJSON(data []byte) error {
+	var doc appJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	services := make([]Service, len(doc.Services))
+	for i, s := range doc.Services {
+		services[i] = Service{Name: s.Name, Cost: s.Cost, Selectivity: s.Selectivity}
+	}
+	tmp, err := New(services, nil)
+	if err != nil {
+		return err
+	}
+	var edges [][2]int
+	for _, e := range doc.Precedence {
+		u, v := tmp.IndexOf(e[0]), tmp.IndexOf(e[1])
+		if u < 0 || v < 0 {
+			return fmt.Errorf("workflow: precedence edge %v references unknown service", e)
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	built, err := New(services, edges)
+	if err != nil {
+		return err
+	}
+	*a = *built
+	return nil
+}
+
+// Uniform returns n services all with the given cost and selectivity, named
+// C1..Cn, without precedence constraints.
+func Uniform(n int, cost, sel rat.Rat) *App {
+	services := make([]Service, n)
+	for i := range services {
+		services[i] = Service{Cost: cost, Selectivity: sel}
+	}
+	return MustNew(services, nil)
+}
+
+// FromCostsSels builds an application from parallel cost and selectivity
+// slices, without precedence constraints.
+func FromCostsSels(costs, sels []rat.Rat) (*App, error) {
+	if len(costs) != len(sels) {
+		return nil, fmt.Errorf("workflow: %d costs but %d selectivities", len(costs), len(sels))
+	}
+	services := make([]Service, len(costs))
+	for i := range services {
+		services[i] = Service{Cost: costs[i], Selectivity: sels[i]}
+	}
+	return New(services, nil)
+}
