@@ -1,0 +1,34 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: build test test-short test-race bench vet check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: gates the experiment sweeps behind -short (sub-second smoke
+# subset instead of the full harness).
+test-short:
+	$(GO) test -short ./...
+
+# Concurrency soundness of the worker-pool search layer: full race runs of
+# the pool and the sharded solvers, plus one race pass of the concurrent
+# experiment harness (the rest of internal/experiments runs race+short —
+# its full sweep is covered unraced by `test`).
+test-race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/par/ ./internal/solve/
+	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
+
+# One pass over every benchmark, including the parallel-vs-serial pairs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: vet build test-short test-race

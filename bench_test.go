@@ -159,6 +159,82 @@ func BenchmarkSelfTimedSimulation(b *testing.B) {
 	}
 }
 
+// --- parallel-vs-serial benchmarks: the worker-pool plan-search layer ---
+//
+// Each pair runs the identical deterministic search with Workers: 1 and
+// Workers: 0 (= runtime.NumCPU), so the ratio of the two timings is the
+// wall-clock speedup of the parallel search layer on this machine. On a
+// single-CPU host the pair's timings coincide — the speedup scales with
+// the cores available.
+
+func benchExactForest(b *testing.B, workers int) {
+	app := gen.App(gen.NewRand(21), 6, gen.Mixed)
+	opts := solve.Options{
+		Method:  solve.ExactForest,
+		Workers: workers,
+		Orch:    orchestrate.Options{MaxExhaustive: 64},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinPeriod(app, plan.Overlap, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactForestSerial(b *testing.B)   { benchExactForest(b, 1) }
+func BenchmarkExactForestParallel(b *testing.B) { benchExactForest(b, 0) }
+
+func benchExactDAG(b *testing.B, workers int) {
+	app := gen.App(gen.NewRand(22), 4, gen.Filtering)
+	opts := solve.Options{
+		Method:  solve.ExactDAG,
+		Workers: workers,
+		Orch:    orchestrate.Options{MaxExhaustive: 64},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinLatency(app, plan.InOrder, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactDAGSerial(b *testing.B)   { benchExactDAG(b, 1) }
+func BenchmarkExactDAGParallel(b *testing.B) { benchExactDAG(b, 0) }
+
+func benchHillClimb(b *testing.B, workers int) {
+	app := gen.App(gen.NewRand(23), 20, gen.Filtering)
+	opts := solve.Options{
+		Method:   solve.HillClimb,
+		Workers:  workers,
+		Restarts: 4,
+		Orch:     orchestrate.Options{MaxExhaustive: 32, LocalSearchPasses: 2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinPeriod(app, plan.Overlap, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHillClimbSerial(b *testing.B)   { benchHillClimb(b, 1) }
+func BenchmarkHillClimbParallel(b *testing.B) { benchHillClimb(b, 0) }
+
+func benchExperimentsAll(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.AllWorkers(1, workers) {
+			if !r.OK {
+				b.Fatalf("%s failed to reproduce", r.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkExperimentsAllSerial(b *testing.B)   { benchExperimentsAll(b, 1) }
+func BenchmarkExperimentsAllParallel(b *testing.B) { benchExperimentsAll(b, 0) }
+
 // BenchmarkPlannerEndToEnd times the full public-API pipeline (plan search
 // + orchestration + validation) on an 8-service instance.
 func BenchmarkPlannerEndToEnd(b *testing.B) {

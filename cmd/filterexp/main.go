@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	filterexp [-exp E1,E4] [-md] [-budget N]
+//	filterexp [-exp E1,E4] [-md] [-budget N] [-workers N]
 //
 // -exp selects a comma-separated subset of experiment IDs (default: all);
 // -md emits Markdown tables instead of aligned text; -budget scales the
 // random sweeps (1 = smoke run, 2 = the configuration recorded in
-// EXPERIMENTS.md).
+// EXPERIMENTS.md); -workers bounds the worker pool the experiments run on
+// (0 = all CPUs, 1 = serial — the reports are identical either way).
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		expFilter = flag.String("exp", "", "comma-separated experiment IDs to run (default all)")
 		markdown  = flag.Bool("md", false, "emit Markdown tables")
 		budget    = flag.Int("budget", 1, "sweep size multiplier (1 = smoke, 2 = full)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 	}
 
 	failures := 0
-	for _, r := range experiments.All(*budget) {
+	for _, r := range experiments.AllWorkers(*budget, *workers) {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}

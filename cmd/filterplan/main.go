@@ -9,7 +9,7 @@
 //	filterplan -in instance.json [-model overlap|inorder|outorder]
 //	           [-objective period|latency]
 //	           [-method auto|greedy-chain|exact-chain|exact-forest|exact-dag|hill-climb]
-//	           [-gantt] [-timeline] [-replay N]
+//	           [-workers N] [-gantt] [-timeline] [-replay N]
 //	filterplan -demo fig1|b1|b2    (run on a built-in paper instance)
 package main
 
@@ -35,6 +35,7 @@ func main() {
 		modelName = flag.String("model", "overlap", "communication model: overlap, inorder, outorder")
 		objective = flag.String("objective", "period", "objective: period or latency")
 		method    = flag.String("method", "auto", "search method: auto, greedy-chain, exact-chain, exact-forest, exact-dag, hill-climb")
+		workers   = flag.Int("workers", 0, "worker goroutines for the plan search (0 = all CPUs, 1 = serial; any value returns the same plan)")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		timeline  = flag.Bool("timeline", false, "print the operation list event by event")
 		replay    = flag.Int("replay", 0, "replay the schedule for N data sets and report throughput")
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := solve.Options{Method: meth}
+	opts := solve.Options{Method: meth, Workers: *workers}
 
 	var sol solve.Solution
 	switch *objective {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/orchestrate"
 	"repro/internal/paperex"
+	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/rat"
 	"repro/internal/solve"
@@ -32,24 +33,52 @@ type Report struct {
 	OK bool
 }
 
-// All runs every experiment in order. Budget scales the expensive sweeps
-// (1 = fast smoke run, 2 = the full EXPERIMENTS.md configuration).
+// All runs every experiment on the shared worker pool with the default
+// worker count (runtime.NumCPU) and returns the reports in experiment
+// order. Budget scales the expensive sweeps (1 = fast smoke run, 2 = the
+// full EXPERIMENTS.md configuration).
 func All(budget int) []Report {
+	return AllWorkers(budget, 0)
+}
+
+// AllWorkers is All with an explicit worker bound (0 = runtime.NumCPU(),
+// 1 = serial). The bound is the harness's whole parallelism budget: the
+// experiments fan out across the pool while their inner plan searches run
+// serially (Workers: 1), so workers = 1 is end-to-end serial and larger
+// counts never nest pools or oversubscribe the CPUs. The experiments are
+// mutually independent and deterministic, so report order, verdicts and
+// measured values do not depend on the worker count (the one exception is
+// E13's informational wall-time column, which reports real elapsed time).
+func AllWorkers(budget, workers int) []Report {
+	runs := []func() Report{
+		E1Fig1,
+		E2ChainVsForest,
+		E3MultiportLatency,
+		E4MultiportPeriod,
+		func() Report { return E5OverlapOrchestration(budget) },
+		func() Report { return E6ChainPeriodGreedy(budget) },
+		func() Report { return E7ChainLatencyGreedy(budget) },
+		func() Report { return E8TreeLatency(budget) },
+		func() Report { return e9ForestStructure(budget, 1) },
+		E10Reductions,
+		func() Report { return e11HeuristicQuality(budget, 1) },
+		func() Report { return E12ModelGaps(budget) },
+		func() Report { return e13Scaling(budget, 1) },
+		func() Report { return e14BiCriteria(budget, 1) },
+	}
+	return par.Map(workers, len(runs), func(i int) Report { return runs[i]() })
+}
+
+// Smoke runs only the fixed, fast experiments (the worked example, the
+// three counter-examples and the NP-hardness gadgets — no random sweeps):
+// the sub-second subset that `go test -short` exercises.
+func Smoke() []Report {
 	return []Report{
 		E1Fig1(),
 		E2ChainVsForest(),
 		E3MultiportLatency(),
 		E4MultiportPeriod(),
-		E5OverlapOrchestration(budget),
-		E6ChainPeriodGreedy(budget),
-		E7ChainLatencyGreedy(budget),
-		E8TreeLatency(budget),
-		E9ForestStructure(budget),
 		E10Reductions(),
-		E11HeuristicQuality(budget),
-		E12ModelGaps(budget),
-		E13Scaling(budget),
-		E14BiCriteria(budget),
 	}
 }
 
@@ -301,11 +330,15 @@ func E8TreeLatency(budget int) Report {
 
 // E9ForestStructure verifies Prop. 4: the forest-restricted optimum equals
 // the unrestricted (DAG) optimum for MINPERIOD without precedence.
-func E9ForestStructure(budget int) Report {
+func E9ForestStructure(budget int) Report { return e9ForestStructure(budget, 0) }
+
+// e9ForestStructure bounds the inner plan searches to solverWorkers
+// (1 under the parallel harness, which owns the parallelism budget).
+func e9ForestStructure(budget, solverWorkers int) Report {
 	trials := 4 * budget
 	matches := map[plan.Model]int{}
 	models := []plan.Model{plan.Overlap, plan.InOrder}
-	opts := solve.Options{Orch: orchestrate.Options{MaxExhaustive: 256}}
+	opts := solve.Options{Orch: orchestrate.Options{MaxExhaustive: 256}, Workers: solverWorkers}
 	for seed := int64(0); seed < int64(trials); seed++ {
 		app := gen.App(gen.NewRand(seed), 4, gen.Mixed)
 		for _, m := range models {

@@ -18,7 +18,11 @@ import (
 // bounds. The paper gives no algorithms beyond the polynomial special
 // cases; this experiment characterizes the heuristics a user of this
 // library actually runs.
-func E13Scaling(budget int) Report {
+func E13Scaling(budget int) Report { return e13Scaling(budget, 0) }
+
+// e13Scaling bounds the inner plan searches to solverWorkers (1 under the
+// parallel harness, which owns the parallelism budget).
+func e13Scaling(budget, solverWorkers int) Report {
 	sizes := []int{10, 20, 40}
 	if budget > 1 {
 		sizes = append(sizes, 80)
@@ -32,6 +36,7 @@ func E13Scaling(budget int) Report {
 			sol, err := solve.MinPeriod(app, m, solve.Options{
 				Method:   solve.HillClimb,
 				Restarts: 1,
+				Workers:  solverWorkers,
 				Orch:     orchestrate.Options{MaxExhaustive: 64, LocalSearchPasses: 2},
 			})
 			elapsed := time.Since(start).Round(time.Millisecond)
@@ -58,9 +63,13 @@ func E13Scaling(budget int) Report {
 // E14BiCriteria traces the period/latency trade-off frontier the paper's
 // conclusion poses as future work: minimal achievable latency under a
 // sweep of period bounds, on a fixed filtering workload under INORDER.
-func E14BiCriteria(budget int) Report {
+func E14BiCriteria(budget int) Report { return e14BiCriteria(budget, 0) }
+
+// e14BiCriteria bounds the inner plan searches to solverWorkers (1 under
+// the parallel harness, which owns the parallelism budget).
+func e14BiCriteria(budget, solverWorkers int) Report {
 	app := gen.App(gen.NewRand(77), 6, gen.Filtering)
-	opts := solve.Options{Orch: orchestrate.Options{MaxExhaustive: 128}}
+	opts := solve.Options{Orch: orchestrate.Options{MaxExhaustive: 128}, Workers: solverWorkers}
 	perOpt, err := solve.MinPeriod(app, plan.InOrder, opts)
 	if err != nil {
 		return fail("E14", "bi-criteria frontier", err)

@@ -1,0 +1,138 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestRunCoversAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("job ran") })
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	serial := Map(1, 300, fn)
+	for _, workers := range []int{2, 3, 16} {
+		got := Map(workers, 300, fn)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestBestCanonicalTieBreaking(t *testing.T) {
+	type cand struct{ val, shard int }
+	less := func(a, b cand) bool { return a.val < b.val }
+	cands := []Candidate[cand]{
+		{Value: cand{5, 0}, OK: true},
+		{OK: false},
+		{Value: cand{3, 2}, OK: true},
+		{Value: cand{3, 3}, OK: true}, // ties shard 2: must lose
+		{Value: cand{4, 4}, OK: true},
+	}
+	best, ok := Best(cands, less)
+	if !ok || best.val != 3 || best.shard != 2 {
+		t.Fatalf("Best = %+v, %v; want value 3 from shard 2", best, ok)
+	}
+	if _, ok := Best(nil, less); ok {
+		t.Fatal("empty reduction reported a winner")
+	}
+	if _, ok := Best([]Candidate[cand]{{OK: false}}, less); ok {
+		t.Fatal("all-infeasible reduction reported a winner")
+	}
+}
+
+func TestMapBestMatchesSerial(t *testing.T) {
+	// Each shard minimizes a bumpy function over its own range; the global
+	// winner must be identical for every worker count.
+	shard := func(i int) Candidate[int] {
+		if i%5 == 3 {
+			return Candidate[int]{} // infeasible shard
+		}
+		best := 1 << 30
+		for x := i * 100; x < (i+1)*100; x++ {
+			v := (x*7919)%2048 + i
+			if v < best {
+				best = v
+			}
+		}
+		return Candidate[int]{Value: best, OK: true}
+	}
+	less := func(a, b int) bool { return a < b }
+	want, wantOK := MapBest(1, 40, shard, less)
+	for _, workers := range []int{2, 4, 13} {
+		got, ok := MapBest(workers, 40, shard, less)
+		if ok != wantOK || got != want {
+			t.Fatalf("workers=%d: MapBest = %d,%v want %d,%v", workers, got, ok, want, wantOK)
+		}
+	}
+}
+
+// TestPoolHammer drives many overlapping pools from concurrent goroutines so
+// `go test -race` exercises the handout counter, result slices and the
+// reduction under real contention.
+func TestPoolHammer(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 50 + g
+				res := Map(4, n, func(i int) int { return i + g })
+				for i, v := range res {
+					if v != i+g {
+						t.Errorf("goroutine %d: res[%d] = %d", g, i, v)
+						return
+					}
+				}
+				best, ok := MapBest(3, n, func(i int) Candidate[int] {
+					return Candidate[int]{Value: (i*31 + g) % 97, OK: i%7 != 0}
+				}, func(a, b int) bool { return a < b })
+				want, wantOK := 1<<30, false
+				for i := 0; i < n; i++ {
+					if i%7 == 0 {
+						continue
+					}
+					if v := (i*31 + g) % 97; v < want {
+						want, wantOK = v, true
+					}
+				}
+				if ok != wantOK || (ok && best != want) {
+					t.Errorf("goroutine %d: best = %d,%v want %d,%v", g, best, ok, want, wantOK)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/orchestrate"
+	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/rat"
 	"repro/internal/workflow"
@@ -102,7 +103,8 @@ func greedyChainSolution(app *workflow.App, m plan.Model, obj Objective, opts Op
 }
 
 // exactChain enumerates all chains using the closed-form objective values
-// and orchestrates only the winner.
+// and orchestrates only the winner. The n! orders are sharded by first
+// service across the worker pool.
 func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
 	if app.HasPrecedence() {
 		return Solution{}, fmt.Errorf("solve: chain enumeration requires no precedence constraints")
@@ -111,22 +113,30 @@ func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (S
 	if n > maxN(opts, 8) {
 		return Solution{}, fmt.Errorf("solve: %d services too large for exact chain enumeration (max %d)", n, maxN(opts, 8))
 	}
-	var best []int
-	var bestVal rat.Rat
-	forEachChain(n, func(order []int) bool {
-		var v rat.Rat
-		if obj == PeriodObjective {
-			v = ChainPeriodValue(app, order, m)
-		} else {
-			v = ChainLatencyValue(app, order)
-		}
-		if best == nil || v.Less(bestVal) {
-			best = append(best[:0], order...)
-			bestVal = v
-		}
-		return true
-	})
-	eg, err := plan.ChainFromOrder(app, best)
+	type cand struct {
+		order []int
+		val   rat.Rat
+	}
+	winner, _ := par.MapBest(opts.Workers, n, func(i int) par.Candidate[cand] {
+		var best cand
+		found := false
+		forEachChainShard(n, i, func(order []int) bool {
+			var v rat.Rat
+			if obj == PeriodObjective {
+				v = ChainPeriodValue(app, order, m)
+			} else {
+				v = ChainLatencyValue(app, order)
+			}
+			if !found || v.Less(best.val) {
+				best.order = append(best.order[:0], order...)
+				best.val = v
+				found = true
+			}
+			return true
+		})
+		return par.Candidate[cand]{Value: best, OK: found}
+	}, func(a, b cand) bool { return a.val.Less(b.val) })
+	eg, err := plan.ChainFromOrder(app, winner.order)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -148,30 +158,77 @@ func exactForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (
 	if n > maxN(opts, 6) {
 		return Solution{}, fmt.Errorf("solve: %d services too large for exact forest enumeration (max %d)", n, maxN(opts, 6))
 	}
-	var sol Solution
-	var firstErr error
-	forEachForest(n, func(parent []int) bool {
+	sol, firstErr := reduceShards(forestShards(n, opts.Workers, func(parent []int, r *shardResult) {
 		eg, err := plan.FromGraph(app, forestGraph(parent))
 		if err != nil {
-			return true
+			return
 		}
 		sched, err := evaluate(eg, m, obj, opts.Orch)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			if r.err == nil {
+				r.err = err
 			}
-			return true
+			return
 		}
-		if sol.Graph == nil || sched.Value.Less(sol.Value) {
-			sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
+		if r.sol.Graph == nil || sched.Value.Less(r.sol.Value) {
+			r.sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
 		}
-		return true
-	})
+	}))
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: forest enumeration found no plan: %v", firstErr)
 	}
 	sol.Exact = obj == PeriodObjective && sol.Sched.Exact && m != plan.OutOrder
 	return sol, nil
+}
+
+// shardResult is one enumeration shard's outcome: its best solution (nil
+// graph when the shard was infeasible) and the first evaluation error it
+// hit.
+type shardResult struct {
+	sol Solution
+	err error
+}
+
+// forestShards runs the sharded forest enumeration on the worker pool:
+// forests are partitioned by the parent assignment of the first two nodes,
+// try sees every complete parent vector of its shard together with the
+// shard's accumulator, and the per-shard results come back in serial
+// prefix order (ready for reduceShards).
+func forestShards(n, workers int, try func(parent []int, r *shardResult)) []shardResult {
+	prefixes := forestPrefixes(n, 2)
+	return par.Map(workers, len(prefixes), func(i int) shardResult {
+		parent := make([]int, n)
+		for v := range parent {
+			parent[v] = -1
+		}
+		copy(parent, prefixes[i])
+		var r shardResult
+		forEachForestFrom(parent, len(prefixes[i]), func(parent []int) bool {
+			try(parent, &r)
+			return true
+		})
+		return r
+	})
+}
+
+// reduceShards folds shard results in shard order, keeping the first
+// strictly-best solution and the first error — exactly what the serial
+// enumeration would have kept.
+func reduceShards(shards []shardResult) (Solution, error) {
+	var sol Solution
+	var firstErr error
+	for _, r := range shards {
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		if r.sol.Graph == nil {
+			continue
+		}
+		if sol.Graph == nil || r.sol.Value.Less(sol.Value) {
+			sol = r.sol
+		}
+	}
+	return sol, firstErr
 }
 
 // exactDAG enumerates all DAGs containing the precedence constraints.
@@ -180,25 +237,40 @@ func exactDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 	if n > maxN(opts, 5) {
 		return Solution{}, fmt.Errorf("solve: %d services too large for exact DAG enumeration (max %d)", n, maxN(opts, 5))
 	}
-	var sol Solution
-	var firstErr error
-	forEachDAG(n, func(g *dag.Graph) bool {
-		eg, err := plan.FromGraph(app, g)
-		if err != nil {
-			return true // violates precedence constraints
+	// Shard by the orientation of the first pairs (3^depth shards), each
+	// worker completing its prefix on a private graph copy.
+	pairs := nodePairs(n)
+	depth := 3
+	if depth > len(pairs) {
+		depth = len(pairs)
+	}
+	prefixes := dagPrefixes(n, depth)
+	shards := par.Map(opts.Workers, len(prefixes), func(i int) shardResult {
+		g := dag.New(n)
+		for _, e := range prefixes[i] {
+			g.AddEdge(e[0], e[1])
 		}
-		sched, err := evaluate(eg, m, obj, opts.Orch)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+		var r shardResult
+		forEachDAGFrom(g, pairs, depth, func(g *dag.Graph) bool {
+			eg, err := plan.FromGraph(app, g)
+			if err != nil {
+				return true // violates precedence constraints
+			}
+			sched, err := evaluate(eg, m, obj, opts.Orch)
+			if err != nil {
+				if r.err == nil {
+					r.err = err
+				}
+				return true
+			}
+			if r.sol.Graph == nil || sched.Value.Less(r.sol.Value) {
+				r.sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
 			}
 			return true
-		}
-		if sol.Graph == nil || sched.Value.Less(sol.Value) {
-			sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
-		}
-		return true
+		})
+		return r
 	})
+	sol, firstErr := reduceShards(shards)
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: DAG enumeration found no plan: %v", firstErr)
 	}
@@ -223,21 +295,89 @@ func exactOrchestration(m plan.Model, obj Objective) bool {
 
 // hillClimb performs randomized local search: over forests (parent vectors)
 // without precedence constraints, over DAG edge sets with them. Seeds: the
-// parallel plan, the greedy chain, plus random restarts.
+// parallel plan, the greedy chain (resp. the bare precedence graph and its
+// random densifications), plus random restarts. The climbs from distinct
+// seeds are independent — each owns its RNG (derived from Options.Seed and
+// the restart index) and its share of the evaluation budget — and run
+// concurrently on the worker pool; the per-climb winners are reduced in
+// restart order, so the result does not depend on the worker count.
 func hillClimb(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
 	if app.HasPrecedence() {
-		return hillClimbDAG(app, m, obj, opts, rng)
+		return hillClimbDAG(app, m, obj, opts)
 	}
-	return hillClimbForest(app, m, obj, opts, rng)
+	return hillClimbForest(app, m, obj, opts)
 }
 
-func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Options, rng *rand.Rand) (Solution, error) {
+// climbRand returns the private RNG of restart i (a SplitMix64-style mix of
+// the user seed and the restart index, so distinct restarts decorrelate even
+// for adjacent seeds).
+func climbRand(seed int64, i int) *rand.Rand {
+	x := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// climbBudget splits the total evaluation budget (full orchestration per
+// candidate is the dominant cost) evenly across the restarts.
+func climbBudget(n, restarts int) int {
+	return (400 + 40*n + restarts - 1) / restarts
+}
+
+func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
 	n := app.N()
-	// Evaluation budget: full orchestration per candidate is the dominant
-	// cost, so the neighborhood is sampled on large instances and the
-	// climb stops when the budget runs out.
-	budget := 400 + 40*n
+	// Seed 1: parallel plan. Seed 2: greedy chain. Then random forests,
+	// drawn from a dedicated RNG so the seed list is a pure function of
+	// Options.Seed.
+	seeds := [][]int{make([]int, n)}
+	for i := range seeds[0] {
+		seeds[0][i] = -1
+	}
+	var chainOrder []int
+	if obj == PeriodObjective {
+		chainOrder = GreedyChainOrder(app, m)
+	} else {
+		chainOrder = GreedyLatencyChainOrder(app)
+	}
+	chainParent := make([]int, n)
+	chainParent[chainOrder[0]] = -1
+	for i := 1; i < n; i++ {
+		chainParent[chainOrder[i]] = chainOrder[i-1]
+	}
+	seeds = append(seeds, chainParent)
+	seedRng := rand.New(rand.NewSource(opts.Seed))
+	for r := 0; r < opts.Restarts; r++ {
+		p := make([]int, n)
+		perm := seedRng.Perm(n)
+		p[perm[0]] = -1
+		for i := 1; i < n; i++ {
+			if seedRng.Intn(3) == 0 {
+				p[perm[i]] = -1
+			} else {
+				p[perm[i]] = perm[seedRng.Intn(i)]
+			}
+		}
+		seeds = append(seeds, p)
+	}
+
+	shards := par.Map(opts.Workers, len(seeds), func(i int) shardResult {
+		return climbForestFrom(app, m, obj, opts, seeds[i], climbBudget(n, len(seeds)), climbRand(opts.Seed, i))
+	})
+	best, firstErr := reduceShards(shards)
+	if best.Graph == nil {
+		if firstErr != nil {
+			return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan: %v", firstErr)
+		}
+		return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan")
+	}
+	return best, nil
+}
+
+// climbForestFrom runs one hill climb over forest parent vectors from the
+// given start, spending at most budget orchestrations.
+func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, seed []int, budget int, rng *rand.Rand) shardResult {
+	n := app.N()
 	evalParent := func(parent []int) (Solution, error) {
 		budget--
 		eg, err := plan.FromGraph(app, forestGraph(parent))
@@ -274,82 +414,45 @@ func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Option
 		return out
 	}
 
-	// Seed 1: parallel plan. Seed 2: greedy chain. Then random forests.
-	seeds := [][]int{make([]int, n)}
-	for i := range seeds[0] {
-		seeds[0][i] = -1
+	var r shardResult
+	cur := append([]int(nil), seed...)
+	curSol, err := evalParent(cur)
+	if err != nil {
+		r.err = err
+		return r
 	}
-	var chainOrder []int
-	if obj == PeriodObjective {
-		chainOrder = GreedyChainOrder(app, m)
-	} else {
-		chainOrder = GreedyLatencyChainOrder(app)
-	}
-	chainParent := make([]int, n)
-	chainParent[chainOrder[0]] = -1
-	for i := 1; i < n; i++ {
-		chainParent[chainOrder[i]] = chainOrder[i-1]
-	}
-	seeds = append(seeds, chainParent)
-	for r := 0; r < opts.Restarts; r++ {
-		p := make([]int, n)
-		perm := rng.Perm(n)
-		p[perm[0]] = -1
-		for i := 1; i < n; i++ {
-			if rng.Intn(3) == 0 {
-				p[perm[i]] = -1
-			} else {
-				p[perm[i]] = perm[rng.Intn(i)]
-			}
-		}
-		seeds = append(seeds, p)
-	}
-
-	var best Solution
-	for _, seed := range seeds {
-		cur := append([]int(nil), seed...)
-		curSol, err := evalParent(cur)
-		if err != nil {
-			continue
-		}
-		if best.Graph == nil || curSol.Value.Less(best.Value) {
-			best = curSol
-		}
-		for improved := true; improved && budget > 0; {
-			improved = false
-			for v := 0; v < n && budget > 0; v++ {
-				old := cur[v]
-				for _, p := range candidateParents(v) {
-					if p == old {
-						continue
+	r.sol = curSol
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for v := 0; v < n && budget > 0; v++ {
+			old := cur[v]
+			for _, p := range candidateParents(v) {
+				if p == old {
+					continue
+				}
+				cur[v] = p
+				if p >= 0 && createsCycle(cur, v) {
+					cur[v] = old
+					continue
+				}
+				sol, err := evalParent(cur)
+				if err == nil && sol.Value.Less(curSol.Value) {
+					curSol = sol
+					old = p
+					improved = true
+					if sol.Value.Less(r.sol.Value) {
+						r.sol = sol
 					}
-					cur[v] = p
-					if p >= 0 && createsCycle(cur, v) {
-						cur[v] = old
-						continue
-					}
-					sol, err := evalParent(cur)
-					if err == nil && sol.Value.Less(curSol.Value) {
-						curSol = sol
-						old = p
-						improved = true
-						if sol.Value.Less(best.Value) {
-							best = sol
-						}
-					} else {
-						cur[v] = old
-					}
-					if budget <= 0 {
-						break
-					}
+				} else {
+					cur[v] = old
+				}
+				if budget <= 0 {
+					break
 				}
 			}
 		}
 	}
-	if best.Graph == nil {
-		return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan")
-	}
-	return best, nil
+	return r
 }
 
 // createsCycle reports whether parent pointers starting at parent[v] reach v.
@@ -362,9 +465,41 @@ func createsCycle(parent []int, v int) bool {
 	return false
 }
 
-func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options, rng *rand.Rand) (Solution, error) {
+func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	// Restart 0 climbs from the bare precedence graph; restarts 1..Restarts
+	// from random acyclic densifications of it, so Restarts buys diversity
+	// here exactly as in the forest climb.
+	starts := []*dag.Graph{app.Precedence().Clone()}
+	for r := 0; r < opts.Restarts; r++ {
+		rng := climbRand(^opts.Seed, r)
+		g := app.Precedence().Clone()
+		n := app.N()
+		for t := 0; t < 2*n; t++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+			if !g.IsAcyclic() {
+				g.RemoveEdge(u, v)
+			}
+		}
+		starts = append(starts, g)
+	}
+	shards := par.Map(opts.Workers, len(starts), func(i int) shardResult {
+		return climbDAGFrom(app, m, obj, opts, starts[i], climbBudget(app.N(), len(starts)))
+	})
+	best, firstErr := reduceShards(shards)
+	if best.Graph == nil {
+		return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan: %v", firstErr)
+	}
+	return best, nil
+}
+
+// climbDAGFrom runs one hill climb over DAG edge sets from the given start
+// graph (which the climb mutates), spending at most budget orchestrations.
+func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, cur *dag.Graph, budget int) shardResult {
 	n := app.N()
-	budget := 400 + 40*n
 	evalGraph := func(g *dag.Graph) (Solution, error) {
 		budget--
 		eg, err := plan.FromGraph(app, g)
@@ -377,12 +512,13 @@ func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 		}
 		return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
 	}
-	cur := app.Precedence().Clone()
+	var r shardResult
 	curSol, err := evalGraph(cur)
 	if err != nil {
-		return Solution{}, err
+		r.err = err
+		return r
 	}
-	best := curSol
+	r.sol = curSol
 	for improved := true; improved && budget > 0; {
 		improved = false
 		for u := 0; u < n && budget > 0; u++ {
@@ -406,8 +542,8 @@ func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 				if err == nil && sol.Value.Less(curSol.Value) {
 					curSol = sol
 					improved = true
-					if sol.Value.Less(best.Value) {
-						best = sol
+					if sol.Value.Less(r.sol.Value) {
+						r.sol = sol
 					}
 				} else {
 					undo()
@@ -415,8 +551,7 @@ func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 			}
 		}
 	}
-	_ = rng
-	return best, nil
+	return r
 }
 
 // BiCriteria minimizes latency subject to a period bound (the bi-criteria
@@ -430,7 +565,7 @@ func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Optio
 	opts = opts.withDefaults()
 	n := app.N()
 	var best Solution
-	tryGraph := func(eg *plan.ExecGraph) {
+	tryInto := func(sol *Solution, eg *plan.ExecGraph) {
 		w := eg.Weighted()
 		per, err := orchestrate.Period(w, m, opts.Orch)
 		if err != nil || per.Value.Greater(periodBound) {
@@ -440,17 +575,20 @@ func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Optio
 		if err != nil {
 			return
 		}
-		if best.Graph == nil || lat.Value.Less(best.Value) {
-			best = Solution{Graph: eg, Sched: lat, Value: lat.Value}
+		if sol.Graph == nil || lat.Value.Less(sol.Value) {
+			*sol = Solution{Graph: eg, Sched: lat, Value: lat.Value}
 		}
 	}
+	tryGraph := func(eg *plan.ExecGraph) { tryInto(&best, eg) }
 	if n <= maxN(opts, 6) {
-		forEachForest(n, func(parent []int) bool {
+		// Same sharding as the exact forest solver: each worker scans the
+		// completions of a two-node prefix for the best bound-respecting
+		// latency; the shard winners reduce in serial prefix order.
+		best, _ = reduceShards(forestShards(n, opts.Workers, func(parent []int, r *shardResult) {
 			if eg, err := plan.FromGraph(app, forestGraph(parent)); err == nil {
-				tryGraph(eg)
+				tryInto(&r.sol, eg)
 			}
-			return true
-		})
+		}))
 	} else {
 		// Structured candidates: parallel, both greedy chains, and greedy
 		// chains split into k parallel sub-chains.

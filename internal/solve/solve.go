@@ -13,6 +13,20 @@
 //     Prop. 4 shows sufficient for MINPERIOD without precedence
 //     constraints) and general DAGs, for small instances;
 //   - hill-climbing heuristics over forests and DAGs for everything else.
+//
+// # Parallel search
+//
+// The exact enumerations and the hill-climbing restarts run on the shared
+// bounded worker pool of package par: Options.Workers bounds the
+// goroutines (0 means runtime.NumCPU(), 1 forces serial execution). The
+// searches shard their spaces statically — chains by first service,
+// forests by the parent assignment of the first two nodes, DAGs by the
+// orientation of the first pairs, hill climbing by restart index with a
+// per-restart seeded RNG — and reduce per-shard winners in shard order
+// with strict-improvement comparison. The result is deterministic: for a
+// fixed Options.Seed, every worker count (including 1) returns the same
+// Solution, bit for bit — the same objective value, execution graph and
+// operation list.
 package solve
 
 import (
@@ -79,6 +93,10 @@ type Options struct {
 	Seed int64
 	// Restarts is the number of random restarts for HillClimb (default 3).
 	Restarts int
+	// Workers bounds the worker goroutines of the parallel searches:
+	// 0 means runtime.NumCPU(), 1 forces serial execution. Any value
+	// yields the identical Solution (see the package documentation).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -230,6 +248,18 @@ func forEachChain(n int, fn func(order []int) bool) {
 	permuteAll(order, 0, fn)
 }
 
+// forEachChainShard enumerates shard i of the chain space: the orders the
+// serial enumeration visits with its i-th choice of first service, in the
+// serial visiting order. The n shards partition all n! chains.
+func forEachChainShard(n, i int, fn func(order []int) bool) {
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	order[0], order[i] = order[i], order[0]
+	permuteAll(order, 1, fn)
+}
+
 func permuteAll(s []int, k int, fn func([]int) bool) bool {
 	if k == len(s) {
 		return fn(s)
@@ -253,9 +283,27 @@ func forEachForest(n int, fn func(parent []int) bool) {
 	for i := range parent {
 		parent[i] = -1
 	}
+	forEachForestFrom(parent, 0, fn)
+}
+
+// forEachForestFrom continues the forest enumeration with nodes 0..from-1
+// already assigned in parent (the remaining entries must be -1), visiting
+// completions in the serial enumeration order.
+func forEachForestFrom(parent []int, from int, fn func(parent []int) bool) bool {
+	return forEachForestPartial(parent, from, len(parent), fn)
+}
+
+// forEachForestPartial enumerates every cycle-free assignment of parents to
+// nodes from..upto-1 (nodes 0..from-1 fixed in parent, nodes upto.. left
+// at -1), in the serial enumeration order. It is the single source of
+// truth for the enumeration order and the cycle rule: both the full
+// enumeration and the shard-prefix construction go through it, so they can
+// never drift apart.
+func forEachForestPartial(parent []int, from, upto int, fn func(parent []int) bool) bool {
+	n := len(parent)
 	var rec func(v int) bool
 	rec = func(v int) bool {
-		if v == n {
+		if v == upto {
 			return fn(parent)
 		}
 		parent[v] = -1
@@ -286,7 +334,27 @@ func forEachForest(n int, fn func(parent []int) bool) {
 		parent[v] = -1
 		return true
 	}
-	rec(0)
+	return rec(from)
+}
+
+// forestPrefixes returns every cycle-free parent assignment of nodes
+// 0..depth-1, in the order the serial enumeration first reaches them. The
+// prefixes are the shards of the parallel forest search: completing each
+// prefix with forEachForestFrom partitions the whole forest space.
+func forestPrefixes(n, depth int) [][]int {
+	if depth > n {
+		depth = n
+	}
+	var out [][]int
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	forEachForestPartial(parent, 0, depth, func(parent []int) bool {
+		out = append(out, append([]int(nil), parent[:depth]...))
+		return true
+	})
+	return out
 }
 
 // forestGraph converts a parent vector into a DAG.
@@ -300,18 +368,28 @@ func forestGraph(parent []int) *dag.Graph {
 	return g
 }
 
+// nodePairs lists the unordered node pairs in DAG-enumeration order.
+func nodePairs(n int) [][2]int {
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}
+
 // forEachDAG enumerates every labeled DAG on n nodes: each unordered pair
 // gets one of {no edge, u→v, v→u}, filtered by acyclicity. 3^(n(n-1)/2)
 // candidates, so this is for n ≤ 5.
 func forEachDAG(n int, fn func(g *dag.Graph) bool) {
-	type pair struct{ u, v int }
-	var pairs []pair
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			pairs = append(pairs, pair{u, v})
-		}
-	}
-	g := dag.New(n)
+	forEachDAGFrom(dag.New(n), nodePairs(n), 0, fn)
+}
+
+// forEachDAGFrom continues the DAG enumeration with the first `from` pairs
+// already decided in g, visiting completions in the serial order (for each
+// remaining pair {u,v}: no edge, then u→v, then v→u).
+func forEachDAGFrom(g *dag.Graph, pairs [][2]int, from int, fn func(g *dag.Graph) bool) bool {
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(pairs) {
@@ -324,16 +402,39 @@ func forEachDAG(n int, fn func(g *dag.Graph) bool) {
 		if !rec(i + 1) {
 			return false
 		}
-		g.AddEdge(p.u, p.v)
+		g.AddEdge(p[0], p[1])
 		ok := rec(i + 1)
-		g.RemoveEdge(p.u, p.v)
+		g.RemoveEdge(p[0], p[1])
 		if !ok {
 			return false
 		}
-		g.AddEdge(p.v, p.u)
+		g.AddEdge(p[1], p[0])
 		ok = rec(i + 1)
-		g.RemoveEdge(p.v, p.u)
+		g.RemoveEdge(p[1], p[0])
 		return ok
 	}
-	rec(0)
+	return rec(from)
+}
+
+// dagPrefixes returns every orientation assignment of the first depth pairs
+// as edge lists, in the serial enumeration order. The prefixes shard the
+// DAG space into 3^depth pieces for the parallel search.
+func dagPrefixes(n, depth int) [][][2]int {
+	pairs := nodePairs(n)
+	if depth > len(pairs) {
+		depth = len(pairs)
+	}
+	out := [][][2]int{nil}
+	for i := 0; i < depth; i++ {
+		next := make([][][2]int, 0, 3*len(out))
+		for _, prefix := range out {
+			u, v := pairs[i][0], pairs[i][1]
+			next = append(next,
+				prefix,
+				append(append([][2]int(nil), prefix...), [2]int{u, v}),
+				append(append([][2]int(nil), prefix...), [2]int{v, u}))
+		}
+		out = next
+	}
+	return out
 }
