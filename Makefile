@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench vet check
+.PHONY: build test test-short test-race bench fuzz vet check
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Concurrency soundness of the worker-pool search layer: full race runs of
-# the pool and the sharded solvers, plus one race pass of the concurrent
-# experiment harness (the rest of internal/experiments runs race+short —
-# its full sweep is covered unraced by `test`).
+# the pool and the sharded solvers — including the branch-and-bound
+# determinism suite, whose shared incumbent is the newest hazard — plus one
+# race pass of the concurrent experiment harness (the rest of
+# internal/experiments runs race+short — its full sweep is covered unraced
+# by `test`).
 test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/par/ ./internal/solve/
@@ -30,5 +32,10 @@ test-race:
 # One pass over every benchmark, including the parallel-vs-serial pairs.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short coverage-guided fuzz smoke of the operation-list JSON codec (the
+# corpus seeds also run as regular unit tests under `test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzListJSONRoundTrip -fuzztime 30s ./internal/oplist/
 
 check: vet build test-short test-race

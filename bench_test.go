@@ -203,6 +203,48 @@ func benchExactDAG(b *testing.B, workers int) {
 func BenchmarkExactDAGSerial(b *testing.B)   { benchExactDAG(b, 1) }
 func BenchmarkExactDAGParallel(b *testing.B) { benchExactDAG(b, 0) }
 
+// benchBranchBoundForest runs the branch-and-bound forest search on the
+// same instance as benchExactForest, so the two benchmark families compare
+// the pruned search against the blind enumeration that certifies the same
+// optimum (E15 reports the node counts behind the gap).
+func benchBranchBoundForest(b *testing.B, workers int) {
+	app := gen.App(gen.NewRand(21), 6, gen.Mixed)
+	opts := solve.Options{
+		Method:  solve.BranchBound,
+		Family:  solve.FamilyForest,
+		Workers: workers,
+		Orch:    orchestrate.Options{MaxExhaustive: 64},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinPeriod(app, plan.Overlap, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchBoundForestSerial(b *testing.B)   { benchBranchBoundForest(b, 1) }
+func BenchmarkBranchBoundForestParallel(b *testing.B) { benchBranchBoundForest(b, 0) }
+
+// BenchmarkBranchBoundChain12 times the scale payoff: certifying the chain
+// optimum at n=12, a size whose 12! candidates the blind enumeration
+// rejects outright.
+func BenchmarkBranchBoundChain12(b *testing.B) {
+	app := gen.App(gen.NewRand(42), 12, gen.Filtering)
+	opts := solve.Options{
+		Method:  solve.BranchBound,
+		Family:  solve.FamilyChain,
+		Workers: 1,
+		Orch:    orchestrate.Options{MaxExhaustive: 64},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinPeriod(app, plan.InOrder, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchHillClimb(b *testing.B, workers int) {
 	app := gen.App(gen.NewRand(23), 20, gen.Filtering)
 	opts := solve.Options{

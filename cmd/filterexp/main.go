@@ -1,8 +1,9 @@
 // Command filterexp regenerates every experiment of the reproduction: the
 // paper's worked example, the three counter-examples, the polynomial
-// special cases, the structural theorem, the NP-hardness gadgets, and the
-// simulation studies. The tables it prints are the source of
-// EXPERIMENTS.md.
+// special cases, the structural theorem, the NP-hardness gadgets, the
+// simulation studies, and the branch-and-bound pruning study (E15: nodes
+// expanded vs full enumeration per structural family). The tables it
+// prints are the source of EXPERIMENTS.md.
 //
 // Usage:
 //

@@ -28,6 +28,7 @@ func TestParseMethod(t *testing.T) {
 	cases := map[string]solve.Method{
 		"auto": solve.Auto, "greedy-chain": solve.GreedyChain, "exact-chain": solve.ExactChain,
 		"exact-forest": solve.ExactForest, "exact-dag": solve.ExactDAG, "hill-climb": solve.HillClimb,
+		"bnb": solve.BranchBound, "Branch-Bound": solve.BranchBound,
 	}
 	for in, want := range cases {
 		got, err := parseMethod(in)
@@ -37,6 +38,22 @@ func TestParseMethod(t *testing.T) {
 	}
 	if _, err := parseMethod("bogus"); err == nil {
 		t.Error("bogus method accepted")
+	}
+}
+
+func TestParseFamily(t *testing.T) {
+	cases := map[string]solve.Family{
+		"auto": solve.FamilyAuto, "chain": solve.FamilyChain,
+		"Forest": solve.FamilyForest, "DAG": solve.FamilyDAG,
+	}
+	for in, want := range cases {
+		got, err := parseFamily(in)
+		if err != nil || got != want {
+			t.Errorf("parseFamily(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseFamily("bogus"); err == nil {
+		t.Error("bogus family accepted")
 	}
 }
 

@@ -182,7 +182,30 @@ const (
 	ExactDAG = solve.ExactDAG
 	// HillClimb is randomized local search over plan structures.
 	HillClimb = solve.HillClimb
+	// BranchBound certifies the same optimum as the exact enumerations by
+	// incremental construction with lower-bound pruning, reaching larger
+	// instances (chains to n=12, forests to n=7 by default). Set
+	// SolveOptions.Stats to observe the search effort and
+	// SolveOptions.Family to force a structural family.
+	BranchBound = solve.BranchBound
 )
+
+// Branch-and-bound structural families for SolveOptions.Family and search
+// counters for SolveOptions.Stats.
+const (
+	// FamilyAuto searches the family the exact methods would certify.
+	FamilyAuto = solve.FamilyAuto
+	// FamilyChain searches linear chains (optimal among chains).
+	FamilyChain = solve.FamilyChain
+	// FamilyForest searches forests (period-optimal by Prop. 4).
+	FamilyForest = solve.FamilyForest
+	// FamilyDAG searches general DAGs.
+	FamilyDAG = solve.FamilyDAG
+)
+
+// SolveStats reports branch-and-bound search effort (nodes expanded,
+// candidates evaluated, subtrees pruned).
+type SolveStats = solve.Stats
 
 // Objectives.
 const (

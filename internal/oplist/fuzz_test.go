@@ -1,0 +1,123 @@
+package oplist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// fuzzPlan builds the reference plan fuzz inputs are decoded against: the
+// precedence-graph execution plan of the webquery8 testdata instance (its
+// precedence edges make a non-trivial DAG with named services).
+func fuzzPlan(t testing.TB) *plan.Weighted {
+	t.Helper()
+	app := loadTestdataApp(t, "webquery8.json")
+	eg, err := plan.FromGraph(app, app.Precedence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eg.Weighted()
+}
+
+func loadTestdataApp(t testing.TB, name string) *workflow.App {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var app workflow.App
+	if err := json.Unmarshal(data, &app); err != nil {
+		t.Fatal(err)
+	}
+	return &app
+}
+
+// seedList builds a syntactically complete schedule for w with arbitrary
+// but deterministic times (round-tripping does not require validity).
+func seedList(w *plan.Weighted, scale int64) *List {
+	l := New(w, rat.New(7*scale, 3))
+	for v := 0; v < w.N(); v++ {
+		l.SetCalc(v, rat.New(int64(v)*scale, 2))
+	}
+	for idx := range w.Edges() {
+		b := rat.New(int64(idx)*scale, 5)
+		l.SetCommStretched(idx, b, b.Add(w.Vol(idx)))
+	}
+	return l
+}
+
+// FuzzListJSONRoundTrip feeds arbitrary bytes into the operation-list JSON
+// decoder and, whenever they parse against the reference plan, requires the
+// decode → render → decode loop to be lossless and panic-free: marshalling
+// the decoded list must succeed, decoding that output must reproduce every
+// begin/end time and λ exactly, and the text renderers and validators must
+// not crash on whatever schedule the input described. The corpus is seeded
+// from schedules over every testdata instance, marshalled with varying time
+// grids, plus hostile fragments.
+func FuzzListJSONRoundTrip(f *testing.F) {
+	w := fuzzPlan(f)
+	for _, scale := range []int64{1, 3, 1000} {
+		data, err := seedList(w, scale).MarshalJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Schedules of the other testdata instances exercise the unknown-name
+	// and missing-entry error paths against the reference plan.
+	for _, name := range []string{"mixed6.json", "expanding12.json"} {
+		app := loadTestdataApp(f, name)
+		eg, err := plan.FromGraph(app, app.Precedence())
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := seedList(eg.Weighted(), 2).MarshalJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"lambda":"1/0"}`))
+	f.Add([]byte(`{"lambda":"4","calc":[{"node":"C1","begin":"-3/2"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := LoadList(w, data)
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		out, err := l.MarshalJSON()
+		if err != nil {
+			t.Fatalf("decoded list failed to marshal: %v", err)
+		}
+		back, err := LoadList(w, out)
+		if err != nil {
+			t.Fatalf("rendered JSON failed to decode: %v\n%s", err, out)
+		}
+		if !back.Lambda().Equal(l.Lambda()) {
+			t.Fatalf("lambda drifted: %s vs %s", l.Lambda(), back.Lambda())
+		}
+		for v := 0; v < w.N(); v++ {
+			if !back.CalcBegin(v).Equal(l.CalcBegin(v)) {
+				t.Fatalf("calc %d drifted: %s vs %s", v, l.CalcBegin(v), back.CalcBegin(v))
+			}
+		}
+		for idx := range w.Edges() {
+			if !back.CommBegin(idx).Equal(l.CommBegin(idx)) || !back.CommEnd(idx).Equal(l.CommEnd(idx)) {
+				t.Fatalf("comm %d drifted: [%s,%s] vs [%s,%s]", idx,
+					l.CommBegin(idx), l.CommEnd(idx), back.CommBegin(idx), back.CommEnd(idx))
+			}
+		}
+		// Renderers and validators must hold up on arbitrary decoded times.
+		_ = l.Timeline()
+		_ = l.Gantt(rat.Zero, 40)
+		for _, m := range plan.Models {
+			_ = l.Validate(m)
+		}
+	})
+}

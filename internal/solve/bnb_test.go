@@ -1,0 +1,353 @@
+package solve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// --- cross-method equivalence: BranchBound vs the blind enumerations ---
+
+// TestBranchBoundMatchesExactEnumerations is the equivalence contract of
+// the branch-and-bound searches: on randomized small instances they return
+// not just the same objective value as the blind ExactChain / ExactForest /
+// ExactDAG enumerations but the bit-identical Solution (same graph, same
+// operation list), for both MinPeriod and MinLatency. Strict pruning
+// guarantees the first optimum-valued graph in enumeration order survives,
+// which is exactly the graph the blind search keeps.
+func TestBranchBoundMatchesExactEnumerations(t *testing.T) {
+	profiles := []gen.Profile{gen.Filtering, gen.Mixed, gen.Expanding}
+	type tc struct {
+		name   string
+		family Family
+		exact  Method
+		app    *workflow.App
+		models []plan.Model
+	}
+	var cases []tc
+	for seed := int64(0); seed < 3; seed++ {
+		p := profiles[seed%int64(len(profiles))]
+		cases = append(cases,
+			tc{fmt.Sprintf("chain/seed%d", seed), FamilyChain, ExactChain,
+				gen.App(gen.NewRand(seed), 5, p), plan.Models},
+			tc{fmt.Sprintf("forest/seed%d", seed), FamilyForest, ExactForest,
+				gen.App(gen.NewRand(seed+100), 4, p), []plan.Model{plan.Overlap, plan.InOrder}},
+			tc{fmt.Sprintf("dag/seed%d", seed), FamilyDAG, ExactDAG,
+				gen.App(gen.NewRand(seed+200), 4, p), []plan.Model{plan.Overlap, plan.InOrder}},
+		)
+	}
+	withPrec := gen.AppWithPrecedence(gen.NewRand(8), 4, gen.Filtering, 0.3)
+	if !withPrec.HasPrecedence() {
+		t.Fatal("seed 8 must produce precedence constraints")
+	}
+	cases = append(cases, tc{"dag/precedence", FamilyDAG, ExactDAG,
+		withPrec, []plan.Model{plan.Overlap, plan.InOrder}})
+
+	for _, tc := range cases {
+		for _, m := range tc.models {
+			for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+				t.Run(fmt.Sprintf("%s/%s/%s", tc.name, m, obj), func(t *testing.T) {
+					base := Options{Orch: smallOrch(), Restarts: 1, Workers: 1}
+					exactOpts := base
+					exactOpts.Method = tc.exact
+					blind := solveOnce(t, tc.app, m, obj, exactOpts)
+					bnbOpts := base
+					bnbOpts.Method = BranchBound
+					bnbOpts.Family = tc.family
+					pruned := solveOnce(t, tc.app, m, obj, bnbOpts)
+					if !pruned.Value.Equal(blind.Value) {
+						t.Fatalf("objective diverged: blind %s, branch-and-bound %s",
+							blind.Value, pruned.Value)
+					}
+					if got, want := describeSolution(pruned), describeSolution(blind); got != want {
+						t.Fatalf("solution diverged from blind enumeration:\n--- blind ---\n%s\n--- bnb ---\n%s", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBranchBoundAutoFamilyMatchesAutoExact pins FamilyAuto to the same
+// family choice the blind methods certify: forests for MINPERIOD without
+// precedence, DAGs for MINLATENCY and under precedence constraints.
+func TestBranchBoundAutoFamilyMatchesAutoExact(t *testing.T) {
+	base := Options{Orch: smallOrch(), Restarts: 1, Workers: 1}
+	app := gen.App(gen.NewRand(5), 4, gen.Mixed)
+	forest := solveOnce(t, app, plan.InOrder, PeriodObjective, withM(base, ExactForest))
+	auto := solveOnce(t, app, plan.InOrder, PeriodObjective, withM(base, BranchBound))
+	if !auto.Value.Equal(forest.Value) || !auto.Exact {
+		t.Fatalf("auto-family period: got %s (exact=%v), forest optimum %s", auto.Value, auto.Exact, forest.Value)
+	}
+	dagSol := solveOnce(t, app, plan.InOrder, LatencyObjective, withM(base, ExactDAG))
+	autoLat := solveOnce(t, app, plan.InOrder, LatencyObjective, withM(base, BranchBound))
+	if !autoLat.Value.Equal(dagSol.Value) {
+		t.Fatalf("auto-family latency: got %s, DAG optimum %s", autoLat.Value, dagSol.Value)
+	}
+	withPrec := gen.AppWithPrecedence(gen.NewRand(8), 4, gen.Filtering, 0.3)
+	prec := solveOnce(t, withPrec, plan.Overlap, PeriodObjective, withM(base, BranchBound))
+	ok, err := prec.Graph.Graph().ClosureContains(withPrec.Precedence())
+	if err != nil || !ok {
+		t.Fatalf("auto-family with precedence returned a violating plan (ok=%v err=%v)", ok, err)
+	}
+}
+
+func withM(o Options, m Method) Options {
+	o.Method = m
+	return o
+}
+
+// TestAutoBandRoutesRaisedMaxExactNToBranchBound pins the Auto cutoff
+// semantics: raising MaxExactN widens only the branch-and-bound band (both
+// exact searches certify the same optimum, so the headroom goes to the
+// pruned one), the blind enumerations keep their defaults, and lowering it
+// caps every exact method.
+func TestAutoBandRoutesRaisedMaxExactNToBranchBound(t *testing.T) {
+	app := func(n int) *workflow.App { return gen.App(gen.NewRand(1), n, gen.Mixed) }
+	cases := []struct {
+		n         int
+		maxExactN int
+		want      Method
+	}{
+		{5, 0, ExactForest},   // blind default band
+		{7, 0, BranchBound},   // bnb default band
+		{8, 0, HillClimb},     // above both defaults
+		{5, 12, ExactForest},  // raising MaxExactN keeps the blind default
+		{10, 12, BranchBound}, // ...and widens the bnb band instead
+		{13, 12, HillClimb},
+		{4, 3, HillClimb}, // lowering caps every exact method
+		{3, 3, ExactForest},
+	}
+	for _, tc := range cases {
+		got := autoMethod(app(tc.n), PeriodObjective, Options{MaxExactN: tc.maxExactN})
+		if got != tc.want {
+			t.Errorf("n=%d MaxExactN=%d: auto picked %v, want %v", tc.n, tc.maxExactN, got, tc.want)
+		}
+	}
+}
+
+// TestBranchBoundGuards mirrors the blind enumeration guards: families
+// reject precedence where required and instances above their caps.
+func TestBranchBoundGuards(t *testing.T) {
+	big := gen.App(gen.NewRand(1), 16, gen.Mixed)
+	for _, fam := range []Family{FamilyChain, FamilyForest, FamilyDAG} {
+		opts := Options{Method: BranchBound, Family: fam}
+		if _, err := MinPeriod(big, plan.Overlap, opts); err == nil {
+			t.Errorf("family %s must reject n=16", fam)
+		}
+	}
+	withPrec := gen.AppWithPrecedence(gen.NewRand(8), 4, gen.Filtering, 0.3)
+	for _, fam := range []Family{FamilyChain, FamilyForest} {
+		opts := Options{Method: BranchBound, Family: fam}
+		if _, err := MinPeriod(withPrec, plan.Overlap, opts); err == nil {
+			t.Errorf("family %s must reject precedence-constrained instances", fam)
+		}
+	}
+	if FamilyAuto.String() != "auto" || FamilyChain.String() != "chain" ||
+		FamilyForest.String() != "forest" || FamilyDAG.String() != "dag" ||
+		Family(9).String() != "Family(9)" {
+		t.Error("family names wrong")
+	}
+	if BranchBound.String() != "branch-bound" {
+		t.Error("method name wrong")
+	}
+}
+
+// --- admissibility: pruning can never discard the optimum ---
+
+// TestPartialBoundsAdmissible checks the bound contract directly: for every
+// enumerated graph of a family and every prefix of its incremental
+// construction, the partial bound never exceeds the completed graph's
+// objective — first against the closed-form/full-graph bound for every
+// member of the family, then against the orchestrated objective of the
+// enumerated optimal graphs (the values pruning actually competes with).
+func TestPartialBoundsAdmissible(t *testing.T) {
+	app := gen.App(gen.NewRand(3), 6, gen.Mixed)
+	for _, m := range plan.Models {
+		for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+			forEachChain(app.N(), func(order []int) bool {
+				var val rat.Rat
+				if obj == PeriodObjective {
+					val = ChainPeriodValue(app, order, m)
+				} else {
+					val = ChainLatencyValue(app, order)
+				}
+				for k := 0; k <= app.N(); k++ {
+					if b := chainPrefixBound(app, m, obj, order, k); b.Greater(val) {
+						t.Fatalf("%s/%s chain %v prefix %d: bound %s exceeds value %s",
+							m, obj, order, k, b, val)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	small := gen.App(gen.NewRand(7), 4, gen.Mixed)
+	n := small.N()
+	for _, m := range []plan.Model{plan.Overlap, plan.InOrder} {
+		for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+			forEachForest(n, func(parent []int) bool {
+				full := forestPartialBound(small, m, obj, parent, n)
+				prefix := make([]int, n)
+				for k := 0; k <= n; k++ {
+					copy(prefix, parent[:k])
+					for v := k; v < n; v++ {
+						prefix[v] = -1
+					}
+					if b := forestPartialBound(small, m, obj, prefix, k); b.Greater(full) {
+						t.Fatalf("%s/%s forest %v prefix %d: bound %s exceeds full-graph bound %s",
+							m, obj, parent, k, b, full)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Against the orchestrated objective of the optimal graphs themselves:
+	// the exact chain of values pruning relies on.
+	for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+		for _, m := range []plan.Model{plan.Overlap, plan.InOrder} {
+			opts := Options{Method: ExactForest, Orch: smallOrch(), Workers: 1}
+			sol := solveOnce(t, small, m, obj, opts)
+			parent := parentVector(t, sol.Graph)
+			prefix := make([]int, n)
+			for k := 0; k <= n; k++ {
+				copy(prefix, parent[:k])
+				for v := k; v < n; v++ {
+					prefix[v] = -1
+				}
+				if b := forestPartialBound(small, m, obj, prefix, k); b.Greater(sol.Value) {
+					t.Fatalf("%s/%s optimal forest prefix %d: bound %s exceeds optimum %s",
+						m, obj, k, b, sol.Value)
+				}
+			}
+
+			dagOpts := Options{Method: ExactDAG, Orch: smallOrch(), Workers: 1}
+			dagSol := solveOnce(t, small, m, obj, dagOpts)
+			pairs := nodePairs(n)
+			g := dag.New(n)
+			for i := 0; i <= len(pairs); i++ {
+				if b := dagPartialBound(small, m, obj, g, pairs, i); b.Greater(dagSol.Value) {
+					t.Fatalf("%s/%s optimal DAG prefix %d: bound %s exceeds optimum %s",
+						m, obj, i, b, dagSol.Value)
+				}
+				if i < len(pairs) {
+					u, v := pairs[i][0], pairs[i][1]
+					if dagSol.Graph.Graph().HasEdge(u, v) {
+						g.AddEdge(u, v)
+					} else if dagSol.Graph.Graph().HasEdge(v, u) {
+						g.AddEdge(v, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// chainPrefixBound bounds every chain that starts with order[:k] and
+// continues with some permutation of order[k:]: the admissibility test's
+// from-scratch counterpart of the prefix state branchBoundChain maintains
+// incrementally before calling chainCompletionBound.
+func chainPrefixBound(app *workflow.App, m plan.Model, obj Objective, order []int, k int) rat.Rat {
+	inProd := rat.One
+	var prefixObj rat.Rat
+	if obj == LatencyObjective {
+		prefixObj = rat.One
+	}
+	for _, s := range order[:k] {
+		if obj == PeriodObjective {
+			prefixObj = rat.Max(prefixObj, inProd.Mul(cexecUnit(app, m, s, 1)))
+			inProd = inProd.Mul(app.Selectivity(s))
+		} else {
+			prefixObj = prefixObj.Add(inProd.Mul(app.Cost(s)))
+			inProd = inProd.Mul(app.Selectivity(s))
+			prefixObj = prefixObj.Add(inProd)
+		}
+	}
+	return chainCompletionBound(app, m, obj, prefixObj, inProd, order[k:])
+}
+
+// parentVector extracts the forest parent assignment of an execution graph.
+func parentVector(t *testing.T, eg *plan.ExecGraph) []int {
+	t.Helper()
+	if !eg.IsForest() {
+		t.Fatal("expected a forest plan")
+	}
+	parent := make([]int, eg.N())
+	for v := range parent {
+		parent[v] = -1
+		if preds := eg.Graph().Pred(v); len(preds) == 1 {
+			parent[v] = preds[0]
+		}
+	}
+	return parent
+}
+
+// --- certification beyond the blind enumerations ---
+
+// TestBranchBoundCertifiesBeyondBlindEnumeration is the scale payoff: at
+// n = 12 the blind chain enumeration would evaluate 12! ≈ 4.8e8 chains
+// (its guard rejects the instance outright), while branch-and-bound
+// certifies the chain optimum in a vanishing fraction of that and stays
+// worker-count deterministic.
+func TestBranchBoundCertifiesBeyondBlindEnumeration(t *testing.T) {
+	const n = 12
+	app := gen.App(gen.NewRand(42), n, gen.Filtering)
+	blind := Options{Method: ExactChain, Orch: smallOrch(), Workers: 1}
+	if _, err := MinPeriod(app, plan.InOrder, blind); err == nil {
+		t.Fatalf("blind chain enumeration must reject n=%d", n)
+	}
+	var st Stats
+	opts := Options{Method: BranchBound, Family: FamilyChain, Orch: smallOrch(), Workers: 1, Stats: &st}
+	sol := solveOnce(t, app, plan.InOrder, PeriodObjective, opts)
+	greedy := ChainPeriodValue(app, GreedyChainOrder(app, plan.InOrder), plan.InOrder)
+	if sol.Value.Greater(greedy) {
+		t.Fatalf("certified optimum %s worse than the greedy chain %s", sol.Value, greedy)
+	}
+	var blindLeaves int64 = 1
+	for i := int64(2); i <= n; i++ {
+		blindLeaves *= i
+	}
+	if st.Evaluated == 0 || st.Evaluated >= blindLeaves/1000 {
+		t.Fatalf("expected a >1000x evaluation reduction: evaluated %d of %d chains", st.Evaluated, blindLeaves)
+	}
+	if st.Pruned == 0 {
+		t.Fatal("expected pruned subtrees")
+	}
+	want := describeSolution(sol)
+	for _, workers := range []int{2, 8} {
+		o := opts
+		o.Workers = workers
+		o.Stats = nil
+		if got := describeSolution(solveOnce(t, app, plan.InOrder, PeriodObjective, o)); got != want {
+			t.Fatalf("workers=%d diverged from serial:\n%s\nvs\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestBranchBoundStatsDeterministicSerial pins the Workers: 1 counters:
+// with a single worker the pruning threshold evolves deterministically, so
+// repeated runs must report identical effort.
+func TestBranchBoundStatsDeterministicSerial(t *testing.T) {
+	app := gen.App(gen.NewRand(9), 5, gen.Mixed)
+	run := func() Stats {
+		var st Stats
+		opts := Options{Method: BranchBound, Family: FamilyForest, Orch: smallOrch(), Restarts: 1, Workers: 1, Stats: &st}
+		solveOnce(t, app, plan.Overlap, PeriodObjective, opts)
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("serial stats not reproducible: %+v vs %+v", a, b)
+	}
+	if a.Expanded == 0 || a.Evaluated == 0 {
+		t.Fatalf("implausible stats: %+v", a)
+	}
+}

@@ -1,0 +1,341 @@
+package solve
+
+// Admissible lower bounds on partially decided execution graphs, the
+// pruning engine of the branch-and-bound searches (bnb.go).
+//
+// Each enumeration family decides its graphs incrementally — chains place
+// one service per position, forests assign parents in node order, DAGs
+// orient one node pair at a time — and every function here bounds the
+// objective of EVERY completion of a partial decision from below:
+//
+//	bound(partial) ≤ objective(G)   for every graph G completing partial.
+//
+// Admissibility is what makes pruning safe: a subtree is discarded only
+// when its bound strictly exceeds the incumbent, so a subtree containing an
+// optimal graph (bound ≤ optimum ≤ incumbent) is never cut. The bounds
+// build on the same per-server quantities as plan.PeriodLowerBound and
+// plan.LatencyPathBound, with the undecided part replaced by its best case:
+//
+//   - a node's input product can only shrink by the selectivities < 1 of
+//     services that may still become ancestors (never by current
+//     descendants, which would close a cycle);
+//   - a node's out-degree, and its set of decided children, only grow;
+//   - once a node's ancestor chain ends at a permanently decided root, its
+//     input product is final and enters the bound exactly.
+//
+// The admissibility of every bound against the completed graphs is pinned
+// by TestPartialBoundsAdmissible.
+
+import (
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// shrinkFactor returns the multiplicative worst case a service can apply to
+// a downstream input product: its selectivity when < 1, else 1.
+func shrinkFactor(app *workflow.App, u int) rat.Rat {
+	if s := app.Selectivity(u); s.Less(rat.One) {
+		return s
+	}
+	return rat.One
+}
+
+// cexecUnit returns the per-unit-volume Cexec of service v under model m
+// given k decided consumers: scaling it by the service's input product gives
+// the per-server period bound (Cin = inProd, Ccomp = inProd·c, Cout =
+// inProd·σ·max(1,k) on forests and chains).
+func cexecUnit(app *workflow.App, m plan.Model, v, k int) rat.Rat {
+	if k < 1 {
+		k = 1
+	}
+	sK := app.Selectivity(v).MulInt(int64(k))
+	if m == plan.Overlap {
+		return rat.MaxOf(rat.One, app.Cost(v), sK)
+	}
+	return rat.One.Add(app.Cost(v)).Add(sK)
+}
+
+// --- forests ---
+
+// forestPartialBound bounds the objective of every forest that completes the
+// partial parent assignment: nodes 0..decided-1 carry their final parent
+// (-1 = permanent root), nodes decided.. must still be -1 (free). The bound
+// is exact-per-chain where possible: a decided node whose ancestor chain
+// ends at a decided root keeps its input product forever, while chains
+// ending at a free node may still gain every remaining shrinking service as
+// an ancestor.
+func forestPartialBound(app *workflow.App, m plan.Model, obj Objective, parent []int, decided int) rat.Rat {
+	n := app.N()
+	if n == 0 {
+		return rat.Zero
+	}
+	// anc[v]: bitmask of v's decided ancestor chain; fixed[v]: the chain
+	// ends at a decided root, so no completion can extend it.
+	anc := make([]uint64, n)
+	fixed := make([]bool, n)
+	kids := make([]int, n)
+	for v := 0; v < n; v++ {
+		var mask uint64
+		u := v
+		for parent[u] >= 0 {
+			u = parent[u]
+			mask |= 1 << uint(u)
+		}
+		anc[v] = mask
+		fixed[v] = u < decided
+		if p := parent[v]; p >= 0 {
+			kids[p]++
+		}
+	}
+	// minProd[v]: the smallest input product v can reach in any completion.
+	minProd := make([]rat.Rat, n)
+	for v := 0; v < n; v++ {
+		p := rat.One
+		for u := 0; u < n; u++ {
+			if anc[v]&(1<<uint(u)) != 0 {
+				p = p.Mul(app.Selectivity(u))
+			}
+		}
+		chain := anc[v]
+		if !fixed[v] {
+			// Any service that is neither v, an ancestor of v, nor a decided
+			// descendant of v (v on its chain) may still end up above v.
+			for u := 0; u < n; u++ {
+				if u == v || chain&(1<<uint(u)) != 0 || anc[u]&(1<<uint(v)) != 0 {
+					continue
+				}
+				p = p.Mul(shrinkFactor(app, u))
+			}
+		}
+		minProd[v] = p
+	}
+	if obj == PeriodObjective {
+		bound := rat.Zero
+		for v := 0; v < n; v++ {
+			bound = rat.Max(bound, minProd[v].Mul(cexecUnit(app, m, v, kids[v])))
+		}
+		return bound
+	}
+	// Latency: the heaviest decided root-to-v chain, each computation and
+	// each traversed communication at its smallest possible volume, plus the
+	// unit input communication. Services inserted above a free chain top
+	// only lengthen the path, so the partial chain is a valid witness.
+	best := rat.Zero
+	for v := 0; v < n; v++ {
+		t := rat.One
+		u := v
+		for {
+			t = t.Add(minProd[u].Mul(app.Cost(u).Add(app.Selectivity(u))))
+			if parent[u] < 0 {
+				break
+			}
+			u = parent[u]
+		}
+		best = rat.Max(best, t)
+	}
+	return best
+}
+
+// --- DAGs ---
+
+// dagPartialBound bounds the objective of every DAG that completes the
+// first `decided` orientations of pairs on the (acyclic) partial graph g:
+// the remaining pairs may each stay absent or add one edge in either
+// direction. Only nodes touched by an undecided pair ("open") can gain
+// predecessors, successors or ancestors.
+func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Graph, pairs [][2]int, decided int) rat.Rat {
+	n := app.N()
+	if n == 0 {
+		return rat.Zero
+	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return rat.Zero // cyclic partial graph: the caller prunes it outright
+	}
+	open := make([]bool, n)
+	for i := decided; i < len(pairs); i++ {
+		open[pairs[i][0]] = true
+		open[pairs[i][1]] = true
+	}
+	// minProd[v]: smallest reachable input product. The ancestor set of v is
+	// final once neither v nor any of its ancestors is open; otherwise every
+	// non-descendant shrinking service may still move above v.
+	minProd := make([]rat.Rat, n)
+	minOut := make([]rat.Rat, n)
+	for v := 0; v < n; v++ {
+		p := rat.One
+		grows := open[v]
+		anc[v].ForEach(func(u int) {
+			p = p.Mul(app.Selectivity(u))
+			if open[u] {
+				grows = true
+			}
+		})
+		if grows {
+			for u := 0; u < n; u++ {
+				if u == v || anc[v].Has(u) || anc[u].Has(v) {
+					continue
+				}
+				p = p.Mul(shrinkFactor(app, u))
+			}
+		}
+		minProd[v] = p
+		minOut[v] = p.Mul(app.Selectivity(v))
+	}
+	if obj == PeriodObjective {
+		bound := rat.Zero
+		for v := 0; v < n; v++ {
+			// Cin: decided predecessors stay and new ones only add volume. A
+			// node with no predecessors yet either remains an entry (volume
+			// 1) or gains one with at least the smallest producible volume.
+			var cin rat.Rat
+			if preds := g.Pred(v); len(preds) > 0 {
+				cin = rat.Zero
+				for _, p := range preds {
+					cin = cin.Add(minOut[p])
+				}
+			} else if !open[v] {
+				cin = rat.One
+			} else {
+				cin = rat.One
+				for u := 0; u < n; u++ {
+					if u == v || anc[u].Has(v) { // descendants cannot feed v
+						continue
+					}
+					cin = rat.Min(cin, minOut[u])
+				}
+			}
+			ccomp := minProd[v].Mul(app.Cost(v))
+			k := g.OutDegree(v)
+			if k < 1 {
+				k = 1
+			}
+			cout := minOut[v].MulInt(int64(k))
+			var cexec rat.Rat
+			if m == plan.Overlap {
+				cexec = rat.MaxOf(cin, ccomp, cout)
+			} else {
+				cexec = cin.Add(ccomp).Add(cout)
+			}
+			bound = rat.Max(bound, cexec)
+		}
+		return bound
+	}
+	// Latency: longest path over the decided edges with minimal volumes;
+	// every node still pays its input (≥ the unit entry communication
+	// somewhere upstream), its computation and one outgoing copy.
+	topo, err := g.TopoSort()
+	if err != nil {
+		return rat.Zero
+	}
+	done := make([]rat.Rat, n)
+	best := rat.Zero
+	for _, v := range topo {
+		start := rat.One
+		for _, p := range g.Pred(v) {
+			start = rat.Max(start, done[p].Add(minOut[p]))
+		}
+		done[v] = start.Add(minProd[v].Mul(app.Cost(v)))
+		best = rat.Max(best, done[v].Add(minOut[v]))
+	}
+	return best
+}
+
+// --- chains ---
+
+// chainCompletionBound bounds every chain extending an exact prefix state:
+// prefixObj is the objective accumulated over the placed prefix (the max
+// per-server Cexec for MINPERIOD, the running latency for MINLATENCY),
+// inProd the data volume leaving the prefix, rest the unplaced services.
+//
+// Both objectives use the same dominance argument over the suffix. A
+// service placed with k other rest services before it keeps an input
+// product of at least inProd times the k smallest shrink factors of rest,
+// and the predecessor counts of the suffix are exactly {0, .., r-1}:
+//
+//   - MINPERIOD: among the t services with the largest per-volume Cexec,
+//     one has at most r-t rest predecessors (pigeonhole), so some server
+//     costs at least inProd·Π(r-t smallest factors)·(t-th largest unit);
+//     the bound maximizes over t. t = r recovers "the next service runs on
+//     the prefix's volume undiminished".
+//   - MINLATENCY: every service adds its computation and one outgoing
+//     copy; by the rearrangement inequality the sum is smallest when the
+//     largest weights take the most-shrunk positions, so pairing the t-th
+//     largest weight with the product of the r-t smallest factors bounds
+//     the total from below.
+func chainCompletionBound(app *workflow.App, m plan.Model, obj Objective, prefixObj, inProd rat.Rat, rest []int) rat.Rat {
+	r := len(rest)
+	if r == 0 {
+		return prefixObj
+	}
+	// shrink[k]: product of the k smallest shrink factors of rest.
+	factors := make([]rat.Rat, r)
+	for i, s := range rest {
+		factors[i] = shrinkFactor(app, s)
+	}
+	sortRats(factors)
+	shrink := make([]rat.Rat, r+1)
+	shrink[0] = rat.One
+	for k := 0; k < r; k++ {
+		shrink[k+1] = shrink[k].Mul(factors[k])
+	}
+	// weights, descending: per-volume Cexec (period) or comp+copy (latency).
+	weights := make([]rat.Rat, r)
+	for i, s := range rest {
+		if obj == PeriodObjective {
+			weights[i] = cexecUnit(app, m, s, 1)
+		} else {
+			weights[i] = app.Cost(s).Add(app.Selectivity(s))
+		}
+	}
+	sortRats(weights)
+	reverseRats(weights)
+	if obj == PeriodObjective {
+		bound := prefixObj
+		for t := 1; t <= r; t++ {
+			bound = rat.Max(bound, inProd.Mul(shrink[r-t]).Mul(weights[t-1]))
+		}
+		// Last-position floor: whichever service ends the chain receives
+		// the product of every other remaining selectivity EXACTLY — growth
+		// included — so min over the possible last services bounds every
+		// completion. This is the binding floor on expanding workloads,
+		// where the shrink products above degenerate to 1.
+		pre := make([]rat.Rat, r+1)
+		pre[0] = rat.One
+		for i, s := range rest {
+			pre[i+1] = pre[i].Mul(app.Selectivity(s))
+		}
+		suf := rat.One
+		var last rat.Rat
+		for i := r - 1; i >= 0; i-- {
+			v := pre[i].Mul(suf).Mul(cexecUnit(app, m, rest[i], 1))
+			if i == r-1 || v.Less(last) {
+				last = v
+			}
+			suf = suf.Mul(app.Selectivity(rest[i]))
+		}
+		return rat.Max(bound, inProd.Mul(last))
+	}
+	total := prefixObj
+	for t := 1; t <= r; t++ {
+		total = total.Add(inProd.Mul(shrink[r-t]).Mul(weights[t-1]))
+	}
+	return total
+}
+
+// sortRats sorts ascending (insertion sort: slices are search-suffix sized).
+func sortRats(s []rat.Rat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Less(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func reverseRats(s []rat.Rat) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,137 @@
+package solve
+
+// Incremental objective re-evaluation for the forest hill climb.
+//
+// A hill-climb move changes one node's parent, which only changes the input
+// products (and hence all derived volumes) of that node's subtree — every
+// other service keeps its ancestors. forestEval maintains the parent
+// vector, the children lists and the per-node input products under such
+// moves, recomputing exactly the touched subtree, and derives the model
+// lower bounds (plan.PeriodLowerBound / plan.LatencyPathBound equivalents)
+// without rebuilding an ExecGraph.
+//
+// The climb uses the bounds as an admissible move filter: a move whose
+// lower bound already reaches the current value cannot be a strict
+// improvement (the orchestrated objective never beats the bound), so the
+// climb skips its orchestration without charging the evaluation budget.
+// The filter never rejects an improving move, and
+// TestForestEvalMatchesFullRecomputation pins the incremental quantities to
+// a from-scratch rebuild move for move.
+
+import (
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// forestEval is the incremental scheduling view of a forest parent vector.
+type forestEval struct {
+	app      *workflow.App
+	parent   []int
+	children [][]int
+	inProd   []rat.Rat // Π σ over ancestors, maintained per move
+}
+
+// newForestEval computes the full state of the given assignment (the slice
+// is copied; parent[v] == -1 means root).
+func newForestEval(app *workflow.App, parent []int) *forestEval {
+	n := app.N()
+	e := &forestEval{
+		app:      app,
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		inProd:   make([]rat.Rat, n),
+	}
+	for v, p := range e.parent {
+		if p >= 0 {
+			e.children[p] = append(e.children[p], v)
+		}
+	}
+	for v := range e.parent {
+		if e.parent[v] < 0 {
+			e.recomputeSubtree(v)
+		}
+	}
+	return e
+}
+
+// recomputeSubtree refreshes the input products of v and its descendants
+// from v's (already correct) parent — the only volumes a move at v touches.
+func (e *forestEval) recomputeSubtree(v int) {
+	if p := e.parent[v]; p >= 0 {
+		e.inProd[v] = e.inProd[p].Mul(e.app.Selectivity(p))
+	} else {
+		e.inProd[v] = rat.One
+	}
+	for _, c := range e.children[v] {
+		e.recomputeSubtree(c)
+	}
+}
+
+// CreatesCycle reports whether re-parenting v under p would close a cycle.
+func (e *forestEval) CreatesCycle(v, p int) bool {
+	return parentChainReaches(e.parent, p, v)
+}
+
+// Move re-parents v under p (-1 for root) and recomputes the volumes of v's
+// subtree only. The caller must rule out cycles first.
+func (e *forestEval) Move(v, p int) {
+	if old := e.parent[v]; old >= 0 {
+		kids := e.children[old]
+		for i, c := range kids {
+			if c == v {
+				e.children[old] = append(kids[:i], kids[i+1:]...)
+				break
+			}
+		}
+	}
+	e.parent[v] = p
+	if p >= 0 {
+		e.children[p] = append(e.children[p], v)
+	}
+	e.recomputeSubtree(v)
+}
+
+// PeriodLowerBound returns max_v Cexec(v, m) of the current forest,
+// identical to the ExecGraph/Weighted value: on a forest Cin(v) is the
+// input product itself and Cout(v) is outSize times max(1, #children).
+func (e *forestEval) PeriodLowerBound(m plan.Model) rat.Rat {
+	bound := rat.Zero
+	for v := range e.parent {
+		bound = rat.Max(bound, e.inProd[v].Mul(cexecUnit(e.app, m, v, len(e.children[v]))))
+	}
+	return bound
+}
+
+// LatencyPathBound returns the heaviest root-to-sink path (computations
+// plus traversed communications plus the unit input), identical to
+// plan.ExecGraph.LatencyPathBound on the same forest.
+func (e *forestEval) LatencyPathBound() rat.Rat {
+	best := rat.Zero
+	var rec func(v int, done rat.Rat)
+	rec = func(v int, start rat.Rat) {
+		done := start.Add(e.inProd[v].Mul(e.app.Cost(v)))
+		out := e.inProd[v].Mul(e.app.Selectivity(v))
+		if len(e.children[v]) == 0 {
+			best = rat.Max(best, done.Add(out))
+			return
+		}
+		for _, c := range e.children[v] {
+			rec(c, done.Add(out))
+		}
+	}
+	for v, p := range e.parent {
+		if p < 0 {
+			rec(v, rat.One)
+		}
+	}
+	return best
+}
+
+// Bound returns the objective-matching lower bound of the current forest.
+func (e *forestEval) Bound(m plan.Model, obj Objective) rat.Rat {
+	if obj == PeriodObjective {
+		return e.PeriodLowerBound(m)
+	}
+	return e.LatencyPathBound()
+}

@@ -1,0 +1,115 @@
+package solve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/plan"
+	"repro/internal/rat"
+)
+
+// TestForestEvalMatchesFullRecomputation drives a forestEval through long
+// random move sequences and, move for move, pins every incremental quantity
+// — per-node input products, the period lower bounds of all three models
+// and the latency path bound — to a from-scratch ExecGraph rebuild. This is
+// the correctness contract of the hill climb's incremental re-evaluation:
+// the filter may only skip orchestrations, never see different volumes.
+func TestForestEvalMatchesFullRecomputation(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := gen.NewRand(seed)
+		n := 4 + rng.Intn(6)
+		app := gen.App(rng, n, []gen.Profile{gen.Filtering, gen.Mixed, gen.Expanding}[seed%3])
+		parent := make([]int, n)
+		for v := range parent {
+			parent[v] = -1
+		}
+		eval := newForestEval(app, parent)
+		for move := 0; move < 60; move++ {
+			v := rng.Intn(n)
+			p := rng.Intn(n+1) - 1 // -1..n-1
+			if p == v || (p >= 0 && eval.CreatesCycle(v, p)) {
+				continue
+			}
+			eval.Move(v, p)
+			parent[v] = p
+			eg, err := plan.FromGraph(app, forestGraph(parent))
+			if err != nil {
+				t.Fatalf("seed %d move %d: %v", seed, move, err)
+			}
+			for u := 0; u < n; u++ {
+				if !eval.inProd[u].Equal(eg.InProd(u)) {
+					t.Fatalf("seed %d move %d: inProd(%d) incremental %s, full %s",
+						seed, move, u, eval.inProd[u], eg.InProd(u))
+				}
+			}
+			for _, m := range plan.Models {
+				if got, want := eval.PeriodLowerBound(m), eg.PeriodLowerBound(m); !got.Equal(want) {
+					t.Fatalf("seed %d move %d %s: period bound incremental %s, full %s",
+						seed, move, m, got, want)
+				}
+			}
+			if got, want := eval.LatencyPathBound(), eg.LatencyPathBound(); !got.Equal(want) {
+				t.Fatalf("seed %d move %d: latency bound incremental %s, full %s",
+					seed, move, got, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalFilterNeverSkipsImprovingMoves is the admissibility of the
+// hill-climb move filter in isolation: whenever the incremental bound of a
+// moved forest is below the orchestrated value of the current one, the
+// orchestrated value of the move can still improve — and conversely, a move
+// the filter skips (bound ≥ current value) never orchestrates strictly
+// better than the current value.
+func TestIncrementalFilterNeverSkipsImprovingMoves(t *testing.T) {
+	app := gen.App(gen.NewRand(17), 5, gen.Mixed)
+	n := app.N()
+	for _, m := range []plan.Model{plan.Overlap, plan.InOrder} {
+		for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+			rng := gen.NewRand(99)
+			parent := make([]int, n)
+			for v := range parent {
+				parent[v] = -1
+			}
+			eval := newForestEval(app, parent)
+			value := func(p []int) rat.Rat {
+				eg, err := plan.FromGraph(app, forestGraph(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched, err := evaluate(eg, m, obj, smallOrch())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sched.Value
+			}
+			cur := value(parent)
+			for move := 0; move < 40; move++ {
+				v := rng.Intn(n)
+				p := rng.Intn(n+1) - 1
+				if p == v || p == parent[v] || (p >= 0 && eval.CreatesCycle(v, p)) {
+					continue
+				}
+				old := parent[v]
+				eval.Move(v, p)
+				parent[v] = p
+				moved := value(parent)
+				skipped := !eval.Bound(m, obj).Less(cur)
+				if skipped && moved.Less(cur) {
+					t.Fatalf("%s/%s move %d: filter skipped an improving move (bound %s, cur %s, moved %s)",
+						m, obj, move, eval.Bound(m, obj), cur, moved)
+				}
+				// Walk like the climb: accept improvements, revert the rest.
+				if moved.Less(cur) {
+					cur = moved
+				} else {
+					eval.Move(v, old)
+					parent[v] = old
+				}
+			}
+			_ = fmt.Sprint(cur)
+		}
+	}
+}

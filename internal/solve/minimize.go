@@ -48,6 +48,8 @@ func minimize(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 		return exactDAG(app, m, obj, opts)
 	case HillClimb:
 		return hillClimb(app, m, obj, opts)
+	case BranchBound:
+		return branchBound(app, m, obj, opts)
 	default:
 		return Solution{}, fmt.Errorf("solve: unknown method %v", opts.Method)
 	}
@@ -57,19 +59,53 @@ func autoMethod(app *workflow.App, obj Objective, opts Options) Method {
 	n := app.N()
 	if app.HasPrecedence() {
 		// DAG enumeration costs 3^(n(n-1)/2) orchestrations; keep the
-		// automatic cutoff low and let callers raise MaxExactN knowingly.
-		if n <= maxN(opts, 4) {
+		// automatic cutoff low. Above it, branch-and-bound extends the
+		// exactly solvable band — it certifies the identical optimum, so
+		// raising MaxExactN widens that band rather than the blind one.
+		blind, bnb := autoBand(opts, 4, bnbMaxDAGN)
+		switch {
+		case n <= blind:
 			return ExactDAG
+		case n <= bnb:
+			return BranchBound
 		}
 		return HillClimb
 	}
-	if obj == PeriodObjective && n <= maxN(opts, 6) {
-		return ExactForest // sufficient by Prop. 4
+	if obj == PeriodObjective {
+		blind, bnb := autoBand(opts, 6, bnbMaxForestN)
+		switch {
+		case n <= blind:
+			return ExactForest // sufficient by Prop. 4
+		case n <= bnb:
+			return BranchBound // same Prop. 4 certificate, pruned search
+		}
+		return HillClimb
 	}
-	if obj == LatencyObjective && n <= maxN(opts, 4) {
+	blind, bnb := autoBand(opts, 4, bnbMaxDAGN)
+	switch {
+	case n <= blind:
 		return ExactDAG
+	case n <= bnb:
+		return BranchBound
 	}
 	return HillClimb
+}
+
+// autoBand resolves Auto's two exact cutoffs: blind enumeration up to its
+// default, branch-and-bound above it. MaxExactN moves only the outer
+// (branch-and-bound) cutoff when raised — both searches certify the same
+// optimum, so the extra headroom goes to the pruned one — and caps both
+// when lowered below the blind default.
+func autoBand(opts Options, blindDef, bnbDef int) (blind, bnb int) {
+	blind = blindDef
+	if opts.MaxExactN > 0 && opts.MaxExactN < blind {
+		blind = opts.MaxExactN
+	}
+	bnb = maxN(opts, bnbDef)
+	if bnb < blind {
+		bnb = blind
+	}
+	return blind, bnb
 }
 
 func maxN(opts Options, def int) int {
@@ -375,7 +411,10 @@ func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Option
 }
 
 // climbForestFrom runs one hill climb over forest parent vectors from the
-// given start, spending at most budget orchestrations.
+// given start, spending at most budget orchestrations. Moves are evaluated
+// incrementally: a forestEval recomputes only the touched subtree's volumes
+// and orchestration is skipped (without charging the budget) whenever the
+// moved forest's lower bound already rules out a strict improvement.
 func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, seed []int, budget int, rng *rand.Rand) shardResult {
 	n := app.N()
 	evalParent := func(parent []int) (Solution, error) {
@@ -422,6 +461,7 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 		return r
 	}
 	r.sol = curSol
+	eval := newForestEval(app, cur)
 	for improved := true; improved && budget > 0; {
 		improved = false
 		for v := 0; v < n && budget > 0; v++ {
@@ -430,8 +470,16 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 				if p == old {
 					continue
 				}
+				if p >= 0 && eval.CreatesCycle(v, p) {
+					continue
+				}
+				eval.Move(v, p)
 				cur[v] = p
-				if p >= 0 && createsCycle(cur, v) {
+				if !eval.Bound(m, obj).Less(curSol.Value) {
+					// The incremental bound already reaches the current
+					// value, so orchestration cannot return a strict
+					// improvement: reject the move without spending budget.
+					eval.Move(v, old)
 					cur[v] = old
 					continue
 				}
@@ -444,6 +492,7 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 						r.sol = sol
 					}
 				} else {
+					eval.Move(v, old)
 					cur[v] = old
 				}
 				if budget <= 0 {
@@ -453,16 +502,6 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 		}
 	}
 	return r
-}
-
-// createsCycle reports whether parent pointers starting at parent[v] reach v.
-func createsCycle(parent []int, v int) bool {
-	for a := parent[v]; a != -1; a = parent[a] {
-		if a == v {
-			return true
-		}
-	}
-	return false
 }
 
 func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
@@ -498,14 +537,12 @@ func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) 
 
 // climbDAGFrom runs one hill climb over DAG edge sets from the given start
 // graph (which the climb mutates), spending at most budget orchestrations.
+// Candidate graphs whose lower bound already reaches the current value are
+// rejected before orchestration, without charging the budget.
 func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, cur *dag.Graph, budget int) shardResult {
 	n := app.N()
-	evalGraph := func(g *dag.Graph) (Solution, error) {
+	evalBuilt := func(eg *plan.ExecGraph) (Solution, error) {
 		budget--
-		eg, err := plan.FromGraph(app, g)
-		if err != nil {
-			return Solution{}, err
-		}
 		sched, err := evaluate(eg, m, obj, opts.Orch)
 		if err != nil {
 			return Solution{}, err
@@ -513,7 +550,12 @@ func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 		return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
 	}
 	var r shardResult
-	curSol, err := evalGraph(cur)
+	start, err := plan.FromGraph(app, cur)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	curSol, err := evalBuilt(start)
 	if err != nil {
 		r.err = err
 		return r
@@ -538,7 +580,16 @@ func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 					undo()
 					continue
 				}
-				sol, err := evalGraph(cur)
+				eg, err := plan.FromGraph(app, cur)
+				if err != nil {
+					undo() // move violates the precedence constraints
+					continue
+				}
+				if !graphBound(eg, m, obj).Less(curSol.Value) {
+					undo() // cannot be a strict improvement; skip orchestration
+					continue
+				}
+				sol, err := evalBuilt(eg)
 				if err == nil && sol.Value.Less(curSol.Value) {
 					curSol = sol
 					improved = true
@@ -552,6 +603,16 @@ func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 		}
 	}
 	return r
+}
+
+// graphBound returns the objective-matching lower bound of one candidate
+// execution graph: the per-server period bound or the longest-path latency
+// bound. Orchestrated objectives never beat it under any model.
+func graphBound(eg *plan.ExecGraph, m plan.Model, obj Objective) rat.Rat {
+	if obj == PeriodObjective {
+		return eg.PeriodLowerBound(m)
+	}
+	return eg.LatencyPathBound()
 }
 
 // BiCriteria minimizes latency subject to a period bound (the bi-criteria

@@ -56,6 +56,13 @@ func TestParallelSolversDeterministic(t *testing.T) {
 		{"hill-climb/plain", plain, HillClimb},
 		{"exact-dag/precedence", withPrec, ExactDAG},
 		{"hill-climb/precedence", withPrec, HillClimb},
+		// The branch-and-bound searches add the shared incumbent as a new
+		// determinism hazard: pruning depends on when other workers improve
+		// it. The two-rule pruning of bnb.go (strict against the shared
+		// value, ties only against the shard-local best) must keep the
+		// returned Solution bit-identical for every worker count.
+		{"branch-bound/plain", plain, BranchBound},
+		{"branch-bound/precedence", withPrec, BranchBound},
 	}
 	for _, tc := range cases {
 		for _, m := range plan.Models {
@@ -181,6 +188,58 @@ func TestDAGShardsPartitionSerialEnumeration(t *testing.T) {
 		if serial[i] != sharded[i] {
 			t.Fatalf("DAG %d differs: serial %q, sharded %q", i, serial[i], sharded[i])
 		}
+	}
+}
+
+// TestBranchBoundChainDeterministic extends the determinism contract to the
+// chain family, whose shards race on the incumbent with closed-form
+// evaluations (no orchestration), the tightest interleaving pressure of the
+// three searches.
+func TestBranchBoundChainDeterministic(t *testing.T) {
+	app := gen.App(gen.NewRand(19), 7, gen.Mixed)
+	for _, m := range plan.Models {
+		for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+			opts := Options{Method: BranchBound, Family: FamilyChain, Orch: smallOrch()}
+			opts.Workers = 1
+			want := describeSolution(solveOnce(t, app, m, obj, opts))
+			for _, workers := range []int{2, 8} {
+				opts.Workers = workers
+				if got := describeSolution(solveOnce(t, app, m, obj, opts)); got != want {
+					t.Fatalf("%s/%s workers=%d diverged:\n%s\nvs\n%s", m, obj, workers, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentBranchBound hammers the branch-and-bound path from many
+// goroutines sharing one App so `go test -race` can see the incumbent's
+// locking and any shared state in the bound computations.
+func TestConcurrentBranchBound(t *testing.T) {
+	app := gen.App(gen.NewRand(2), 4, gen.Mixed)
+	opts := Options{Method: BranchBound, Orch: smallOrch(), Restarts: 1, Workers: 4}
+	ref := solveOnce(t, app, plan.Overlap, PeriodObjective, opts)
+	want := describeSolution(ref)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := MinPeriod(app, plan.Overlap, opts)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if got := describeSolution(sol); got != want {
+				errs <- fmt.Sprintf("concurrent branch-and-bound diverged:\n%s", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }
 

@@ -12,7 +12,13 @@
 //   - exact solvers by exhaustive enumeration of chains, forests (which
 //     Prop. 4 shows sufficient for MINPERIOD without precedence
 //     constraints) and general DAGs, for small instances;
-//   - hill-climbing heuristics over forests and DAGs for everything else.
+//   - branch-and-bound searches over the same structural families that
+//     prove the same optima with lower-bound pruning on partial graphs,
+//     reaching instance sizes the blind enumerations cannot (bnb.go);
+//   - hill-climbing heuristics over forests and DAGs for everything else,
+//     with incremental re-evaluation: each move recomputes only the touched
+//     subtree's volumes and orchestrates only when the resulting lower
+//     bound still allows an improvement (incremental.go).
 //
 // # Parallel search
 //
@@ -59,6 +65,12 @@ const (
 	// HillClimb runs randomized local search over forests (or DAGs when
 	// precedence constraints force merges).
 	HillClimb
+	// BranchBound proves the same optimum as the exact enumerations by
+	// incremental construction with lower-bound pruning against a shared
+	// incumbent (see bnb.go), reaching instance sizes the blind searches
+	// cannot. Options.Family picks the structural family (default: the one
+	// that makes the search exact, as the blind enumerations choose it).
+	BranchBound
 )
 
 // String names the method for reports.
@@ -76,6 +88,8 @@ func (m Method) String() string {
 		return "exact-dag"
 	case HillClimb:
 		return "hill-climb"
+	case BranchBound:
+		return "branch-bound"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -87,8 +101,22 @@ type Options struct {
 	// Orch is passed to the orchestration layer.
 	Orch orchestrate.Options
 	// MaxExactN caps instance sizes accepted by the exact methods
-	// (default: 8 chains, 6 forests, 5 DAGs).
+	// (default: 8 chains, 6 forests, 5 DAGs blind; 12 chains, 7 forests,
+	// 5 DAGs with BranchBound). Under Auto, raising it widens only the
+	// BranchBound band — the blind enumerations keep their defaults, since
+	// both certify the identical optimum — while lowering it caps every
+	// exact method.
 	MaxExactN int
+	// Family picks the structural family searched by BranchBound
+	// (default FamilyAuto: forests for MINPERIOD without precedence
+	// constraints, DAGs otherwise — the family the blind exact methods
+	// would certify).
+	Family Family
+	// Stats, when non-nil, receives the branch-and-bound search counters.
+	// The returned Solution is identical for every worker count, but the
+	// counters are not: with Workers > 1 the pruning threshold evolves
+	// with goroutine timing. Use Workers: 1 for reproducible counts.
+	Stats *Stats
 	// Seed drives the randomized restarts of HillClimb.
 	Seed int64
 	// Restarts is the number of random restarts for HillClimb (default 3).
