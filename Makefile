@@ -2,10 +2,15 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz vet check
+.PHONY: build bins test test-short test-race bench bench-json fuzz vet check smoke-filterd
 
 build:
 	$(GO) build ./...
+
+# Explicit binaries, filterd (the planning daemon) included.
+bins:
+	mkdir -p bin
+	$(GO) build -o bin/ ./cmd/filterplan ./cmd/filterexp ./cmd/filtergen ./cmd/filterd ./cmd/benchjson
 
 vet:
 	$(GO) vet ./...
@@ -18,20 +23,34 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Concurrency soundness of the worker-pool search layer: full race runs of
-# the pool and the sharded solvers — including the branch-and-bound
-# determinism suite, whose shared incumbent is the newest hazard — plus one
-# race pass of the concurrent experiment harness (the rest of
-# internal/experiments runs race+short — its full sweep is covered unraced
-# by `test`).
+# Concurrency soundness of the worker-pool search layer and the planning
+# service: full race runs of the pool, the sharded solvers (including the
+# branch-and-bound shared incumbent), the plan cache's singleflight and the
+# service's exactly-one-solve suite, plus one race pass of the concurrent
+# experiment harness (the rest of internal/experiments runs race+short —
+# its full sweep is covered unraced by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/plancache/ ./internal/service/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # One pass over every benchmark, including the parallel-vs-serial pairs.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Parallel-vs-serial benchmark pairs, appended to the committed trajectory
+# artifact BENCH_plan.json (one run record per invocation: Go version, CPU
+# count, ns/op per benchmark). Run on a multi-core host to record the real
+# worker-pool speedup; NOTE annotates the run.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Serial$$|Parallel$$|BranchBoundChain12$$' -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_plan.json -note "$(NOTE)"
+
+# End-to-end daemon smoke: start filterd on a local port, plan
+# testdata/webquery8.json over HTTP, and diff the objective value against
+# the filterplan CLI answer (CI runs the same check).
+smoke-filterd:
+	./scripts/smoke_filterd.sh
 
 # Short coverage-guided fuzz smoke of the operation-list JSON codec (the
 # corpus seeds also run as regular unit tests under `test`).

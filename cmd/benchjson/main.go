@@ -1,0 +1,141 @@
+// Command benchjson turns `go test -bench` output into the committed
+// benchmark-trajectory artifact BENCH_plan.json: it parses the benchmark
+// lines from stdin and APPENDS one run record — environment (Go version,
+// OS/arch, CPU count) plus every benchmark's ns/op — to the JSON file, so
+// successive PRs accumulate a machine-readable speedup history instead of
+// overwriting each other's numbers.
+//
+// Usage (the Makefile's bench-json target):
+//
+//	go test -run '^$' -bench 'Serial$|Parallel$' -benchtime 1x . \
+//	    | go run ./cmd/benchjson -out BENCH_plan.json -note "PR N"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type run struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type trajectory struct {
+	// Comment documents the file for readers stumbling on the artifact.
+	Comment string `json:"_comment"`
+	Runs    []run  `json:"runs"`
+}
+
+const comment = "Benchmark trajectory: one run record per `make bench-json` invocation (parallel-vs-serial plan-search pairs; ratios measure the worker-pool speedup on that run's host). Append-only — see cmd/benchjson."
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_plan.json", "trajectory file to append the run to")
+		note = flag.String("note", "", "free-form run annotation (e.g. the PR number)")
+	)
+	flag.Parse()
+
+	benchmarks, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	traj := trajectory{Comment: comment}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			fatal(fmt.Errorf("%s exists but is not a trajectory file: %w", *out, err))
+		}
+		traj.Comment = comment
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+
+	traj.Runs = append(traj.Runs, run{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Note:       *note,
+		Benchmarks: benchmarks,
+	})
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs total)\n",
+		len(benchmarks), *out, len(traj.Runs))
+}
+
+// parseBench extracts benchmark results from `go test -bench` text output.
+// A benchmark line looks like
+//
+//	BenchmarkExactForestSerial-4   	       1	  12345678 ns/op
+//
+// (the -N suffix is GOMAXPROCS and is kept as part of the name; extra
+// -benchmem columns are ignored).
+func parseBench(r io.Reader) ([]benchmark, error) {
+	var out []benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i
+				break
+			}
+		}
+		// The value column must exist separately from the iterations
+		// column: [name, iterations, value, "ns/op", ...].
+		if nsIdx < 3 {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[nsIdx-1], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, benchmark{
+			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Iterations: iters,
+			NsPerOp:    ns,
+		})
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

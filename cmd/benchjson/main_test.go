@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	sample := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.00GHz
+BenchmarkExactForestSerial     	       1	  91486627 ns/op
+BenchmarkExactForestParallel-4 	       2	  45743313 ns/op	     128 B/op	       3 allocs/op
+PASS
+ok  	repro	1.374s
+`
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	if got[0].Name != "ExactForestSerial" || got[0].Iterations != 1 || got[0].NsPerOp != 91486627 {
+		t.Errorf("first = %+v", got[0])
+	}
+	if got[1].Name != "ExactForestParallel-4" || got[1].NsPerOp != 45743313 {
+		t.Errorf("second = %+v", got[1])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok repro 0.1s\nBenchmarkBroken x y\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,104 @@
+// Command filterd is the long-running planning service: a daemon that
+// plans filtering-workflow instances over HTTP, amortizing the NP-hard
+// plan search across repeated and slowly-drifting instances.
+//
+// Every instance is canonicalized (service permutation, rational
+// normalization, precedence closure — internal/canon) so equivalent
+// request bodies land on the same content hash; solved plans live in a
+// bounded LRU with singleflight deduplication (internal/plancache); and
+// drift updates re-plan warm-started from the cached solution
+// (internal/service).
+//
+// Usage:
+//
+//	filterd [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-services N]
+//
+// API (JSON; instances use the filterplan -in file format, schedules the
+// oplist codec):
+//
+//	POST  /v1/plan            {"instance": {...}, "model": "inorder", "objective": "period", ...}
+//	POST  /v1/batch           {"requests": [{...}, ...]}
+//	PATCH /v1/instance/{hash} {"updates": [{"service": "C3", "cost": "7/2"}], "model": ...}
+//	GET   /v1/stats
+//
+// Example:
+//
+//	filterd -addr 127.0.0.1:8080 &
+//	curl -s -X POST 127.0.0.1:8080/v1/plan \
+//	     -d "{\"instance\": $(cat testdata/webquery8.json), \"model\": \"inorder\"}"
+//
+// See examples/service for a complete end-to-end program.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "solver pool size (0 = all CPUs; inner solves are serial — one pool, never nested)")
+		cacheSize   = flag.Int("cache", 256, "plan cache capacity (completed entries)")
+		queueSize   = flag.Int("queue", 64, "intake queue buffer")
+		maxServices = flag.Int("max-services", 64, "largest accepted instance")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		QueueSize:   *queueSize,
+		MaxServices: *maxServices,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.Handler(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("filterd: listening on %s (workers=%d cache=%d)", *addr, srv.Stats().Workers, *cacheSize)
+	select {
+	case err := <-done:
+		// ListenAndServe only returns on failure (e.g. port in use).
+		srv.Close()
+		fatal(err)
+	case s := <-sig:
+		log.Printf("filterd: %v — shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("filterd: shutdown: %v", err)
+	}
+	srv.Close()
+	st := srv.Stats()
+	log.Printf("filterd: served %d plan requests (%d hits, %d coalesced, %d solves)",
+		st.PlanRequests, st.Cache.Hits, st.Cache.Coalesced, st.Solves)
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "filterd:", err)
+	os.Exit(1)
+}

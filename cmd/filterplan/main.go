@@ -10,8 +10,13 @@
 //	           [-objective period|latency]
 //	           [-method auto|greedy-chain|exact-chain|exact-forest|exact-dag|hill-climb|bnb]
 //	           [-family auto|chain|forest|dag]
-//	           [-workers N] [-gantt] [-timeline] [-replay N]
+//	           [-workers N] [-canon] [-gantt] [-timeline] [-replay N]
 //	filterplan -demo fig1|b1|b2    (run on a built-in paper instance)
+//
+// -canon canonicalizes the instance before solving (service permutation,
+// rational normalization, precedence reduction — see internal/canon) and
+// prints the content hash, reproducing exactly what the filterd planning
+// service would solve and cache for this instance.
 //
 // The bnb method (alias branch-bound) certifies the same optimum as the
 // blind exact enumerations by branch-and-bound: it constructs execution
@@ -34,8 +39,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/canon"
+	"repro/internal/cliopt"
 	"repro/internal/paperex"
-	"repro/internal/plan"
 	"repro/internal/rat"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -51,6 +57,7 @@ func main() {
 		method    = flag.String("method", "auto", "search method: auto, greedy-chain, exact-chain, exact-forest, exact-dag, hill-climb, bnb (branch-and-bound)")
 		family    = flag.String("family", "auto", "structural family for -method bnb: auto, chain, forest, dag")
 		workers   = flag.Int("workers", 0, "worker goroutines for the plan search (0 = all CPUs, 1 = serial; any value returns the same plan)")
+		canonical = flag.Bool("canon", false, "canonicalize the instance first (the filterd service form) and print its content hash")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		timeline  = flag.Bool("timeline", false, "print the operation list event by event")
 		replay    = flag.Int("replay", 0, "replay the schedule for N data sets and report throughput")
@@ -61,15 +68,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m, err := parseModel(*modelName)
+	if *canonical {
+		inst, err := canon.Canonicalize(app)
+		if err != nil {
+			fatal(err)
+		}
+		app = inst.App()
+		fmt.Printf("canonical hash: %s\n", inst.Hash())
+	}
+	m, err := cliopt.Model(*modelName)
 	if err != nil {
 		fatal(err)
 	}
-	meth, err := parseMethod(*method)
+	meth, err := cliopt.Method(*method)
 	if err != nil {
 		fatal(err)
 	}
-	fam, err := parseFamily(*family)
+	fam, err := cliopt.Family(*family)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,14 +97,15 @@ func main() {
 		opts.Stats = &stats
 	}
 
+	obj, err := cliopt.Objective(*objective)
+	if err != nil {
+		fatal(err)
+	}
 	var sol solve.Solution
-	switch *objective {
-	case "period":
+	if obj == solve.PeriodObjective {
 		sol, err = solve.MinPeriod(app, m, opts)
-	case "latency":
+	} else {
 		sol, err = solve.MinLatency(app, m, opts)
-	default:
-		err = fmt.Errorf("unknown objective %q", *objective)
 	}
 	if err != nil {
 		fatal(err)
@@ -158,55 +174,6 @@ func loadApp(inFile, demo string) (*workflow.App, error) {
 		return &app, nil
 	default:
 		return nil, fmt.Errorf("need -in FILE or -demo NAME (try -demo fig1)")
-	}
-}
-
-func parseModel(s string) (plan.Model, error) {
-	switch strings.ToLower(s) {
-	case "overlap":
-		return plan.Overlap, nil
-	case "inorder":
-		return plan.InOrder, nil
-	case "outorder":
-		return plan.OutOrder, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q", s)
-	}
-}
-
-func parseMethod(s string) (solve.Method, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return solve.Auto, nil
-	case "greedy-chain":
-		return solve.GreedyChain, nil
-	case "exact-chain":
-		return solve.ExactChain, nil
-	case "exact-forest":
-		return solve.ExactForest, nil
-	case "exact-dag":
-		return solve.ExactDAG, nil
-	case "hill-climb":
-		return solve.HillClimb, nil
-	case "bnb", "branch-bound":
-		return solve.BranchBound, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
-}
-
-func parseFamily(s string) (solve.Family, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return solve.FamilyAuto, nil
-	case "chain":
-		return solve.FamilyChain, nil
-	case "forest":
-		return solve.FamilyForest, nil
-	case "dag":
-		return solve.FamilyDAG, nil
-	default:
-		return 0, fmt.Errorf("unknown family %q", s)
 	}
 }
 

@@ -4,58 +4,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"repro/internal/plan"
-	"repro/internal/solve"
 )
 
-func TestParseModel(t *testing.T) {
-	cases := map[string]plan.Model{
-		"overlap": plan.Overlap, "INORDER": plan.InOrder, "OutOrder": plan.OutOrder,
-	}
-	for in, want := range cases {
-		got, err := parseModel(in)
-		if err != nil || got != want {
-			t.Errorf("parseModel(%q) = %v, %v", in, got, err)
-		}
-	}
-	if _, err := parseModel("bogus"); err == nil {
-		t.Error("bogus model accepted")
-	}
-}
-
-func TestParseMethod(t *testing.T) {
-	cases := map[string]solve.Method{
-		"auto": solve.Auto, "greedy-chain": solve.GreedyChain, "exact-chain": solve.ExactChain,
-		"exact-forest": solve.ExactForest, "exact-dag": solve.ExactDAG, "hill-climb": solve.HillClimb,
-		"bnb": solve.BranchBound, "Branch-Bound": solve.BranchBound,
-	}
-	for in, want := range cases {
-		got, err := parseMethod(in)
-		if err != nil || got != want {
-			t.Errorf("parseMethod(%q) = %v, %v", in, got, err)
-		}
-	}
-	if _, err := parseMethod("bogus"); err == nil {
-		t.Error("bogus method accepted")
-	}
-}
-
-func TestParseFamily(t *testing.T) {
-	cases := map[string]solve.Family{
-		"auto": solve.FamilyAuto, "chain": solve.FamilyChain,
-		"Forest": solve.FamilyForest, "DAG": solve.FamilyDAG,
-	}
-	for in, want := range cases {
-		got, err := parseFamily(in)
-		if err != nil || got != want {
-			t.Errorf("parseFamily(%q) = %v, %v", in, got, err)
-		}
-	}
-	if _, err := parseFamily("bogus"); err == nil {
-		t.Error("bogus family accepted")
-	}
-}
+// Option-vocabulary parsing (models, methods, families) is shared with the
+// other commands and the filterd service; its tests live in
+// internal/cliopt.
 
 func TestLoadAppDemos(t *testing.T) {
 	for name, n := range map[string]int{"fig1": 5, "b1": 202, "b2": 12} {

@@ -1,0 +1,121 @@
+// Service quickstart: run the filterd planning service in-process and
+// drive its HTTP API end to end — plan an instance, hit the cache with an
+// equivalent permuted listing, batch-plan, drift a cost and watch the
+// warm-started re-plan, and read the counters.
+//
+// The same API is served standalone by `go run ./cmd/filterd`; everything
+// below works unchanged against it (replace the test listener's URL).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/service"
+)
+
+func main() {
+	// The daemon's core, embedded: 2 workers, default cache.
+	srv := service.New(service.Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(service.Handler(srv))
+	defer ts.Close()
+
+	// The §2.3 running example: five services of cost 4, selectivity 1.
+	instance := `{"services": [
+	  {"name": "C1", "cost": "4", "selectivity": "1"},
+	  {"name": "C2", "cost": "4", "selectivity": "1"},
+	  {"name": "C3", "cost": "4", "selectivity": "1"},
+	  {"name": "C4", "cost": "4", "selectivity": "1"},
+	  {"name": "C5", "cost": "4", "selectivity": "1"}]}`
+
+	fmt.Println("== POST /v1/plan: first request solves ==")
+	plan1 := post(ts.URL+"/v1/plan", fmt.Sprintf(
+		`{"instance": %s, "model": "inorder", "objective": "period"}`, instance))
+	fmt.Printf("  period %s under inorder (outcome: %s)\n  hash %s\n",
+		plan1["value"], plan1["outcome"], plan1["hash"])
+
+	fmt.Println("== POST /v1/plan: identical request is a cache hit ==")
+	plan2 := post(ts.URL+"/v1/plan", fmt.Sprintf(
+		`{"instance": %s, "model": "inorder", "objective": "period"}`, instance))
+	fmt.Printf("  period %s (outcome: %s)\n", plan2["value"], plan2["outcome"])
+
+	fmt.Println("== canonicalization: a permuted listing lands on the same hash ==")
+	permuted := `{"services": [
+	  {"name": "C5", "cost": "4", "selectivity": "1"},
+	  {"name": "C3", "cost": "4", "selectivity": "1"},
+	  {"name": "C1", "cost": "4", "selectivity": "1"},
+	  {"name": "C4", "cost": "4", "selectivity": "1"},
+	  {"name": "C2", "cost": "4", "selectivity": "1"}]}`
+	plan3 := post(ts.URL+"/v1/plan", fmt.Sprintf(
+		`{"instance": %s, "model": "inorder", "objective": "period"}`, permuted))
+	fmt.Printf("  same hash: %v (outcome: %s)\n",
+		plan3["hash"] == plan1["hash"], plan3["outcome"])
+
+	fmt.Println("== POST /v1/batch: all three models in one request ==")
+	batch := post(ts.URL+"/v1/batch", fmt.Sprintf(`{"requests": [
+	  {"instance": %[1]s, "model": "overlap"},
+	  {"instance": %[1]s, "model": "inorder"},
+	  {"instance": %[1]s, "model": "outorder"}]}`, instance))
+	for _, r := range batch["results"].([]any) {
+		p := r.(map[string]any)["plan"].(map[string]any)
+		fmt.Printf("  %-8s period %s\n", p["model"], p["value"])
+	}
+
+	fmt.Println("== PATCH /v1/instance/{hash}: C3's cost drifts 4 → 8 ==")
+	drift := patch(fmt.Sprintf("%s/v1/instance/%s", ts.URL, plan1["hash"]),
+		`{"model": "inorder", "objective": "period", "method": "bnb",
+		  "updates": [{"service": "C3", "cost": "8"}]}`)
+	fmt.Printf("  period %s → %s (warm start: %v, incumbent %v)\n",
+		drift["old_value"], drift["new_value"], drift["warm_start"], drift["incumbent"])
+
+	fmt.Println("== GET /v1/stats ==")
+	stats := get(ts.URL + "/v1/stats")
+	fmt.Printf("  %v plan requests, %v solves, %v hits, %v coalesced, %v instances registered\n",
+		stats["plan_requests"], stats["solves"], stats["cache_hits"],
+		stats["cache_coalesced"], stats["registered_instances"])
+}
+
+func post(url, body string) map[string]any {
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func patch(url, body string) map[string]any {
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func get(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return decode(resp)
+}
+
+func decode(resp *http.Response) map[string]any {
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if e, ok := out["error"]; ok {
+		log.Fatalf("API error (status %d): %v", resp.StatusCode, e)
+	}
+	return out
+}

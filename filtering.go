@@ -27,7 +27,14 @@
 //	sol, err := planner.MinimizePeriod(app, filtering.Overlap)
 //	// sol.Graph is the execution graph, sol.Sched.List the schedule.
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// For serving plans at scale there is a long-running planning service:
+// cmd/filterd exposes plan/batch/drift/stats over HTTP with canonical
+// instance hashing and a singleflight plan cache, so repeated and
+// slowly-drifting instances amortize the NP-hard search.
+//
+// See examples/ for complete programs (examples/quickstart for the
+// library, examples/service for the filterd HTTP API end to end) and
+// DESIGN.md for the architecture.
 package filtering
 
 import (

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/plan"
+	"repro/internal/service"
+	"repro/internal/solve"
+	"repro/internal/texttab"
+	"repro/internal/workflow"
+)
+
+// E16CacheAmortization measures the planning service's cache amortization
+// on the shipped testdata instances: the cold request pays the full
+// NP-hard plan search, every identical request after it is a cache hit
+// whose cost is canonicalization plus a map lookup, and concurrent
+// identical requests collapse to one solve (singleflight). Correctness —
+// cached responses identical in objective value to a direct solver call on
+// the canonical instance, exactly one solve per canonical key — gates the
+// verdict; the request-rate columns are informational wall-clock
+// measurements like E13's.
+func E16CacheAmortization(budget int) Report { return e16CacheAmortization(budget, 0) }
+
+// e16CacheAmortization bounds the service's solver pool to solverWorkers
+// (1 under the parallel harness, which owns the parallelism budget).
+func e16CacheAmortization(budget, solverWorkers int) Report {
+	tab := texttab.New("instance", "n", "cold", "warm (avg)", "amortization", "req/s warm", "1-solve", "match")
+	ok := true
+
+	instances, err := loadTestdataInstances()
+	if err != nil {
+		return fail("E16", "plan-cache amortization", err)
+	}
+
+	warmRequests := 100 * budget
+	for _, ti := range instances {
+		srv := service.New(service.Config{Workers: solverWorkers})
+		req := service.Request{App: ti.app, Model: plan.Overlap, Objective: solve.PeriodObjective}
+
+		// Reference: a direct solver call on the canonical instance with
+		// the request's options.
+		inst, err := canon.Canonicalize(ti.app)
+		if err != nil {
+			srv.Close()
+			return fail("E16", "plan-cache amortization", err)
+		}
+		direct, err := solve.MinPeriod(inst.App(), req.Model, solve.Options{Workers: 1})
+		if err != nil {
+			srv.Close()
+			return fail("E16", "plan-cache amortization", err)
+		}
+
+		coldStart := time.Now()
+		cold, err := srv.Plan(req)
+		coldDur := time.Since(coldStart)
+		if err != nil {
+			srv.Close()
+			return fail("E16", "plan-cache amortization", err)
+		}
+
+		warmStart := time.Now()
+		match := cold.Solution.Value.Equal(direct.Value)
+		for i := 0; i < warmRequests; i++ {
+			warm, err := srv.Plan(req)
+			if err != nil {
+				srv.Close()
+				return fail("E16", "plan-cache amortization", err)
+			}
+			match = match && warm.Solution.Value.Equal(direct.Value)
+		}
+		warmDur := time.Since(warmStart) / time.Duration(warmRequests)
+
+		// Singleflight: a burst of concurrent identical requests on the
+		// warm cache still reports exactly one solve in total.
+		burst := make([]service.Request, 8)
+		for i := range burst {
+			burst[i] = req
+		}
+		for _, r := range srv.PlanBatch(burst) {
+			if r.Err != nil {
+				srv.Close()
+				return fail("E16", "plan-cache amortization", r.Err)
+			}
+			match = match && r.Response.Solution.Value.Equal(direct.Value)
+		}
+		oneSolve := srv.Stats().Solves == 1
+		srv.Close()
+
+		ok = ok && match && oneSolve
+		amort := "n/a"
+		reqPerSec := "n/a"
+		if warmDur > 0 {
+			amort = fmt.Sprintf("%.0fx", float64(coldDur)/float64(warmDur))
+			reqPerSec = fmt.Sprintf("%.0f", float64(time.Second)/float64(warmDur))
+		}
+		tab.Row(ti.name, ti.app.N(), roundDur(coldDur), roundDur(warmDur), amort, reqPerSec,
+			mark(oneSolve), mark(match))
+	}
+
+	return Report{
+		ID: "E16", Title: "Planning-service cache amortization (cold vs warm requests)", Table: tab, OK: ok,
+		Notes: []string{
+			"Each row plans one shipped testdata instance through internal/service (OVERLAP period, auto method): the cold request runs the full plan search, the warm rows repeat the identical request against the populated cache.",
+			fmt.Sprintf("'warm (avg)' averages %d sequential cache hits; 'amortization' is cold/warm; '1-solve' checks that an 8-request concurrent burst plus all warm repeats still total exactly one solver run (singleflight + cache).", warmRequests),
+			"'match' requires every served value to equal a direct solve.MinPeriod on the canonical instance (the service test suite pins full bit-identity of graphs and operation lists).",
+			"Wall-clock columns are informational and vary per host, like E13's; the verdict gates only on the correctness checks.",
+		},
+	}
+}
+
+type testdataInstance struct {
+	name string
+	app  *workflow.App
+}
+
+// loadTestdataInstances reads the shipped instance files, tolerating both
+// the repository root (filterexp) and package-relative (go test) working
+// directories.
+func loadTestdataInstances() ([]testdataInstance, error) {
+	names := []string{"mixed6", "webquery8", "expanding12"}
+	var out []testdataInstance
+	for _, name := range names {
+		var data []byte
+		var err error
+		for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+			data, err = os.ReadFile(filepath.Join(dir, name+".json"))
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loading testdata instance %s: %w", name, err)
+		}
+		app := new(workflow.App)
+		if err := app.UnmarshalJSON(data); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		out = append(out, testdataInstance{name: name, app: app})
+	}
+	return out, nil
+}
+
+// roundDur trims a duration to a readable precision for the table.
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,370 @@
+package service
+
+// HTTP/JSON surface of the planning service, mounted by cmd/filterd and
+// exercised end to end by examples/service. The wire format reuses the
+// repository's existing codecs: instances are workflow.App JSON (the same
+// files filterplan -in reads), schedules are oplist.List JSON (the same
+// exact-rational operation lists the library emits everywhere else), and
+// the option vocabulary is the shared cliopt one, so every name accepted
+// on a CLI flag is accepted in a request body.
+//
+//	POST  /v1/plan            plan one instance
+//	POST  /v1/batch           plan many instances in one request
+//	PATCH /v1/instance/{hash} drift re-planning against a registered instance
+//	GET   /v1/stats           cache/queue/solve counters
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/cliopt"
+	"repro/internal/plancache"
+	"repro/internal/rat"
+	"repro/internal/workflow"
+)
+
+// maxBodyBytes bounds request bodies (instances are small; 4 MiB is
+// generous even for batches).
+const maxBodyBytes = 4 << 20
+
+// planParamsJSON are the solve parameters shared by plan, batch items and
+// drift requests. Empty strings mean the defaults.
+type planParamsJSON struct {
+	Model     string `json:"model,omitempty"`
+	Objective string `json:"objective,omitempty"`
+	Method    string `json:"method,omitempty"`
+	Family    string `json:"family,omitempty"`
+	MaxExactN int    `json:"max_exact_n,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Restarts  int    `json:"restarts,omitempty"`
+}
+
+// request resolves the wire parameters into a Request for app.
+func (p planParamsJSON) request(app *workflow.App) (Request, error) {
+	req := Request{App: app, MaxExactN: p.MaxExactN, Seed: p.Seed, Restarts: p.Restarts}
+	var err error
+	if p.Model != "" {
+		if req.Model, err = cliopt.Model(p.Model); err != nil {
+			return req, err
+		}
+	}
+	if p.Objective != "" {
+		if req.Objective, err = cliopt.Objective(p.Objective); err != nil {
+			return req, err
+		}
+	}
+	if p.Method != "" {
+		if req.Method, err = cliopt.Method(p.Method); err != nil {
+			return req, err
+		}
+	}
+	if p.Family != "" {
+		if req.Family, err = cliopt.Family(p.Family); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+type planRequestJSON struct {
+	// Instance is a workflow.App JSON document — identical to the
+	// filterplan -in file format.
+	Instance json.RawMessage `json:"instance"`
+	planParamsJSON
+}
+
+type graphJSON struct {
+	// Services lists the canonical service order; Edges the execution
+	// graph over service names.
+	Services []string    `json:"services"`
+	Edges    [][2]string `json:"edges"`
+}
+
+type planResponseJSON struct {
+	Hash      string    `json:"hash"`
+	Cached    bool      `json:"cached"`
+	Outcome   string    `json:"outcome"` // miss, hit or coalesced
+	Model     string    `json:"model"`
+	Objective string    `json:"objective"`
+	Value     rat.Rat   `json:"value"`
+	Exact     bool      `json:"exact"`
+	Period    rat.Rat   `json:"period"`
+	Latency   rat.Rat   `json:"latency"`
+	Graph     graphJSON `json:"graph"`
+	// Schedule is the operation list in the oplist JSON codec (exact
+	// rational begin/end times, communications keyed by endpoint names).
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+func planResponse(resp Response, req Request) (planResponseJSON, error) {
+	sched, err := json.Marshal(resp.Solution.Sched.List)
+	if err != nil {
+		return planResponseJSON{}, fmt.Errorf("service: encoding schedule: %w", err)
+	}
+	app := resp.Instance.App()
+	g := graphJSON{Services: make([]string, app.N())}
+	for i := 0; i < app.N(); i++ {
+		g.Services[i] = app.Name(i)
+	}
+	for _, e := range resp.Solution.Graph.Graph().Edges() {
+		g.Edges = append(g.Edges, [2]string{app.Name(e[0]), app.Name(e[1])})
+	}
+	return planResponseJSON{
+		Hash:    resp.Hash,
+		Cached:  resp.Outcome == plancache.Hit,
+		Outcome: resp.Outcome.String(),
+		// Lowercased so the response vocabulary matches the request one
+		// (cliopt parses case-insensitively, clients may compare exactly).
+		Model:     strings.ToLower(req.Model.String()),
+		Objective: req.Objective.String(),
+		Value:     resp.Solution.Value,
+		Exact:     resp.Solution.Exact,
+		Period:    resp.Solution.Sched.List.Period(),
+		Latency:   resp.Solution.Sched.List.Latency(),
+		Graph:     g,
+		Schedule:  sched,
+	}, nil
+}
+
+type batchRequestJSON struct {
+	Requests []planRequestJSON `json:"requests"`
+}
+
+type batchItemJSON struct {
+	Error string            `json:"error,omitempty"`
+	Plan  *planResponseJSON `json:"plan,omitempty"`
+}
+
+type batchResponseJSON struct {
+	Results []batchItemJSON `json:"results"`
+}
+
+type driftUpdateJSON struct {
+	Service     string `json:"service"`
+	Cost        string `json:"cost,omitempty"`
+	Selectivity string `json:"selectivity,omitempty"`
+}
+
+type driftRequestJSON struct {
+	Updates []driftUpdateJSON `json:"updates"`
+	planParamsJSON
+}
+
+type driftResponseJSON struct {
+	OldHash   string           `json:"old_hash"`
+	NewHash   string           `json:"new_hash"`
+	OldValue  rat.Rat          `json:"old_value"`
+	NewValue  rat.Rat          `json:"new_value"`
+	WarmStart bool             `json:"warm_start"`
+	Incumbent *rat.Rat         `json:"incumbent,omitempty"`
+	Plan      planResponseJSON `json:"plan"`
+}
+
+type statsJSON struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheLen       int   `json:"cache_len"`
+	CacheCap       int   `json:"cache_cap"`
+	InFlight       int   `json:"in_flight"`
+	PlanRequests   int64 `json:"plan_requests"`
+	DriftRequests  int64 `json:"drift_requests"`
+	Rejected       int64 `json:"rejected"`
+	Solves         int64 `json:"solves"`
+	Registered     int   `json:"registered_instances"`
+	QueueDepth     int   `json:"queue_depth"`
+	Workers        int   `json:"workers"`
+}
+
+// Handler returns the HTTP API of the server.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var doc planRequestJSON
+		if !decodeBody(w, r, &doc) {
+			return
+		}
+		req, err := decodePlanRequest(doc)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := s.Plan(req)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		out, err := planResponse(resp, req)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var doc batchRequestJSON
+		if !decodeBody(w, r, &doc) {
+			return
+		}
+		if len(doc.Requests) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: batch has no requests"))
+			return
+		}
+		// Decode every item first so a malformed item fails fast without
+		// burning solver time on its neighbors.
+		reqs := make([]Request, len(doc.Requests))
+		decodeErrs := make([]error, len(doc.Requests))
+		valid := make([]Request, 0, len(doc.Requests))
+		for i, item := range doc.Requests {
+			reqs[i], decodeErrs[i] = decodePlanRequest(item)
+			if decodeErrs[i] == nil {
+				valid = append(valid, reqs[i])
+			}
+		}
+		results := s.PlanBatch(valid)
+		out := batchResponseJSON{Results: make([]batchItemJSON, len(doc.Requests))}
+		vi := 0
+		for i := range doc.Requests {
+			if decodeErrs[i] != nil {
+				out.Results[i] = batchItemJSON{Error: decodeErrs[i].Error()}
+				continue
+			}
+			res := results[vi]
+			vi++
+			if res.Err != nil {
+				out.Results[i] = batchItemJSON{Error: res.Err.Error()}
+				continue
+			}
+			pr, err := planResponse(res.Response, reqs[i])
+			if err != nil {
+				out.Results[i] = batchItemJSON{Error: err.Error()}
+				continue
+			}
+			out.Results[i] = batchItemJSON{Plan: &pr}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("PATCH /v1/instance/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		if _, ok := s.Instance(hash); !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("service: no registered instance with hash %s", hash))
+			return
+		}
+		var doc driftRequestJSON
+		if !decodeBody(w, r, &doc) {
+			return
+		}
+		updates := make([]Update, len(doc.Updates))
+		for i, u := range doc.Updates {
+			updates[i].Service = u.Service
+			if u.Cost != "" {
+				c, err := rat.Parse(u.Cost)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("service: update %d cost: %w", i, err))
+					return
+				}
+				updates[i].Cost = &c
+			}
+			if u.Selectivity != "" {
+				sel, err := rat.Parse(u.Selectivity)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("service: update %d selectivity: %w", i, err))
+					return
+				}
+				updates[i].Selectivity = &sel
+			}
+		}
+		params, err := doc.planParamsJSON.request(nil)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		report, err := s.Drift(hash, updates, params)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		pr, err := planResponse(report.Response, params)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := driftResponseJSON{
+			OldHash:   report.OldHash,
+			NewHash:   report.NewHash,
+			OldValue:  report.OldValue,
+			NewValue:  report.NewValue,
+			WarmStart: report.WarmStart,
+			Plan:      pr,
+		}
+		if report.WarmStart {
+			inc := report.Incumbent
+			out.Incumbent = &inc
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, statsJSON{
+			CacheHits:      st.Cache.Hits,
+			CacheMisses:    st.Cache.Misses,
+			CacheCoalesced: st.Cache.Coalesced,
+			CacheEvictions: st.Cache.Evictions,
+			CacheLen:       st.Cache.Len,
+			CacheCap:       st.Cache.Cap,
+			InFlight:       st.Cache.InFlight,
+			PlanRequests:   st.PlanRequests,
+			DriftRequests:  st.DriftRequests,
+			Rejected:       st.Rejected,
+			Solves:         st.Solves,
+			Registered:     st.Registered,
+			QueueDepth:     st.QueueDepth,
+			Workers:        st.Workers,
+		})
+	})
+
+	return mux
+}
+
+// decodePlanRequest resolves one wire request into a service Request.
+func decodePlanRequest(doc planRequestJSON) (Request, error) {
+	if len(doc.Instance) == 0 {
+		return Request{}, fmt.Errorf("service: request has no instance")
+	}
+	var app workflow.App
+	if err := json.Unmarshal(doc.Instance, &app); err != nil {
+		return Request{}, fmt.Errorf("service: parsing instance: %w", err)
+	}
+	return doc.planParamsJSON.request(&app)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: parsing request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The status line is already out; log so truncated responses are
+		// diagnosable server-side.
+		log.Printf("service: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,544 @@
+// Package service is the long-running planning service of the repository:
+// the in-process core of the filterd daemon (cmd/filterd).
+//
+// The paper's setting makes a service the natural scaling lever: a plan is
+// computed once per (application, model, objective) and reused across
+// millions of data sets, so the NP-hard search cost amortizes across
+// repeated and slowly-drifting instances. The service implements that
+// amortization in three layers:
+//
+//   - canonical intake: every request's instance is canonicalized (package
+//     canon), so permuted listings, unreduced rationals and redundant
+//     precedence edges all land on the same content hash;
+//   - plan cache: solved plans live in a bounded LRU keyed by canonical
+//     hash plus the solve parameters (package plancache), with
+//     singleflight deduplication — N concurrent identical requests cost
+//     one solve;
+//   - drift re-planning: cost/selectivity updates against a registered
+//     instance re-solve the drifted instance warm-started by seeding the
+//     branch-and-bound incumbent with the old plan re-evaluated on the new
+//     numbers (solve.Options.Incumbent), and report old-vs-new objectives.
+//
+// # One pool, never nested
+//
+// All solving runs on a single batch-intake queue drained by the worker
+// pool of package par — the PR 1 invariant. The service owns the whole
+// parallelism budget: Config.Workers goroutines drain the queue and every
+// inner solve runs with Workers: 1, so concurrent requests parallelize
+// across the pool while no request ever nests a second pool under it. Each
+// queued solve is deterministic (fixed canonical instance, serial solver),
+// so cached, coalesced and fresh responses for one key are bit-identical —
+// and identical to a direct solve.MinPeriod/MinLatency call with the same
+// options on the canonical instance.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canon"
+	"repro/internal/par"
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/rat"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+// ErrClosed is returned by requests submitted after Close.
+var ErrClosed = errors.New("service: server closed")
+
+// Config tunes a Server. The zero value requests defaults.
+type Config struct {
+	// Workers bounds the solver pool draining the intake queue
+	// (0 = runtime.NumCPU()). Inner solves always run serially on one
+	// pool worker.
+	Workers int
+	// CacheSize bounds the plan cache (completed entries; default 256).
+	CacheSize int
+	// QueueSize bounds the intake queue buffer (default 64).
+	QueueSize int
+	// MaxServices rejects instances larger than this at validation
+	// (default 64) — the exact methods refuse far earlier, but the bound
+	// keeps even heuristic requests from monopolizing a worker.
+	MaxServices int
+	// RegistrySize bounds the drift-target registry (default 1024): the
+	// canonical instances drift updates may name. Least-recently-used
+	// instances are forgotten when the bound is hit; a drift against a
+	// forgotten hash fails and the client re-submits the instance.
+	RegistrySize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxServices <= 0 {
+		c.MaxServices = 64
+	}
+	if c.RegistrySize <= 0 {
+		c.RegistrySize = 1024
+	}
+	return c
+}
+
+// Request is one planning request. The zero values of Model, Objective,
+// Method and Family are the defaults (Overlap, period, Auto, auto).
+type Request struct {
+	App       *workflow.App
+	Model     plan.Model
+	Objective solve.Objective
+	Method    solve.Method
+	Family    solve.Family
+	// MaxExactN, Seed and Restarts forward to solve.Options; they are part
+	// of the cache key, since they can change the returned plan.
+	MaxExactN int
+	Seed      int64
+	Restarts  int
+}
+
+// solveOptions builds the solver options of a request. Workers is pinned
+// to 1: the request already runs on a pool worker (one pool, never
+// nested).
+func (r Request) solveOptions() solve.Options {
+	return solve.Options{
+		Method:    r.Method,
+		Family:    r.Family,
+		MaxExactN: r.MaxExactN,
+		Seed:      r.Seed,
+		Restarts:  r.Restarts,
+		Workers:   1,
+	}
+}
+
+// Response is one planning answer.
+type Response struct {
+	// Hash is the canonical instance hash; Key the full cache key (hash
+	// plus solve parameters).
+	Hash string
+	Key  string
+	// Outcome reports how the request was served: fresh solve, cache hit,
+	// or coalesced onto a concurrent identical solve.
+	Outcome plancache.Outcome
+	// Instance is the canonical form the solution refers to.
+	Instance *canon.Instance
+	// Solution is the plan, bit-identical to a direct
+	// solve.MinPeriod/MinLatency call on Instance.App() with the request's
+	// options.
+	Solution solve.Solution
+}
+
+// Update is one drift delta: new cost and/or selectivity for a named
+// service. Nil fields keep the current value.
+type Update struct {
+	Service     string
+	Cost        *rat.Rat
+	Selectivity *rat.Rat
+}
+
+// DriftReport describes one drift re-planning round trip.
+type DriftReport struct {
+	OldHash  string
+	NewHash  string
+	OldValue rat.Rat
+	NewValue rat.Rat
+	// WarmStart reports whether the old plan re-evaluated on the drifted
+	// instance seeded the branch-and-bound incumbent.
+	WarmStart bool
+	// Incumbent is the seeded value when WarmStart is true.
+	Incumbent rat.Rat
+	// Response is the drifted instance's plan (cached under the new hash).
+	Response Response
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Cache plancache.Stats
+	// PlanRequests counts Plan calls (batch items included), DriftRequests
+	// the drift re-plannings, Rejected the validation failures, Solves the
+	// solver runs actually executed on the pool.
+	PlanRequests  int64
+	DriftRequests int64
+	Rejected      int64
+	Solves        int64
+	// Registered counts the currently registered drift-target instances
+	// (bounded by Config.RegistrySize); QueueDepth the currently queued
+	// solves; Workers the pool bound.
+	Registered int
+	QueueDepth int
+	Workers    int
+}
+
+// cacheEntry is the cached value of one key.
+type cacheEntry struct {
+	sol  solve.Solution
+	inst *canon.Instance
+}
+
+type task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Server is the planning service. Create with New, release with Close.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache[cacheEntry]
+	queue chan task
+
+	mu     sync.RWMutex // guards closed
+	closed bool
+	// registry holds the canonical instances seen, keyed by hash — the
+	// targets of drift updates. Bounded LRU (Config.RegistrySize) so a
+	// stream of distinct instances cannot grow the daemon without limit.
+	registry *plancache.Cache[*canon.Instance]
+
+	wg sync.WaitGroup
+
+	planRequests  atomic.Int64
+	driftRequests atomic.Int64
+	rejected      atomic.Int64
+	solves        atomic.Int64
+}
+
+// New starts a server: Config.Workers goroutines begin draining the intake
+// queue through the par pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cfg.Workers = par.Workers(cfg.Workers)
+	s := &Server{
+		cfg:      cfg,
+		cache:    plancache.New[cacheEntry](cfg.CacheSize),
+		queue:    make(chan task, cfg.QueueSize),
+		registry: plancache.New[*canon.Instance](cfg.RegistrySize),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// One pool for the whole server: every worker drains the shared
+		// intake queue until Close.
+		par.Run(cfg.Workers, cfg.Workers, func(int) {
+			for t := range s.queue {
+				t.fn()
+				close(t.done)
+			}
+		})
+	}()
+	return s
+}
+
+// Close stops the intake queue and waits for in-flight solves to finish.
+// Requests submitted after Close fail with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// submit runs fn on a pool worker and waits for it.
+func (s *Server) submit(fn func()) error {
+	t := task{fn: fn, done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.queue <- t
+	s.mu.RUnlock()
+	<-t.done
+	return nil
+}
+
+// validate rejects malformed requests before they reach canonicalization
+// or the queue.
+func (s *Server) validate(req Request) error {
+	if req.App == nil {
+		return fmt.Errorf("service: request has no instance")
+	}
+	if n := req.App.N(); n == 0 {
+		return fmt.Errorf("service: empty instance")
+	} else if n > s.cfg.MaxServices {
+		return fmt.Errorf("service: %d services exceeds the request limit %d", n, s.cfg.MaxServices)
+	}
+	switch req.Model {
+	case plan.Overlap, plan.InOrder, plan.OutOrder:
+	default:
+		return fmt.Errorf("service: unknown model %v", req.Model)
+	}
+	switch req.Objective {
+	case solve.PeriodObjective, solve.LatencyObjective:
+	default:
+		return fmt.Errorf("service: unknown objective %v", req.Objective)
+	}
+	switch req.Method {
+	case solve.Auto, solve.GreedyChain, solve.ExactChain, solve.ExactForest,
+		solve.ExactDAG, solve.HillClimb, solve.BranchBound:
+	default:
+		return fmt.Errorf("service: unknown method %v", req.Method)
+	}
+	switch req.Family {
+	case solve.FamilyAuto, solve.FamilyChain, solve.FamilyForest, solve.FamilyDAG:
+	default:
+		return fmt.Errorf("service: unknown family %v", req.Family)
+	}
+	if req.MaxExactN < 0 || req.Restarts < 0 {
+		return fmt.Errorf("service: negative MaxExactN or Restarts")
+	}
+	return nil
+}
+
+// cacheKey is the full identity of a cached plan: canonical instance plus
+// every solve parameter that can change the returned Solution.
+func cacheKey(hash string, req Request) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%d|%d",
+		hash, req.Model, req.Objective, req.Method, req.Family,
+		req.MaxExactN, req.Seed, req.Restarts)
+}
+
+// register remembers a canonical instance as a drift target (refreshing
+// its registry recency when already present).
+func (s *Server) register(inst *canon.Instance) {
+	s.registry.Do(inst.Hash(), func() (*canon.Instance, error) { return inst, nil })
+}
+
+// Instance returns the registered canonical instance for hash, if any.
+func (s *Server) Instance(hash string) (*canon.Instance, bool) {
+	return s.registry.Get(hash)
+}
+
+// Plan canonicalizes the request's instance, serves the plan from the
+// cache when present, and otherwise solves it on the pool (concurrent
+// identical requests coalesce onto one solve). The instance is registered
+// as a drift target.
+func (s *Server) Plan(req Request) (Response, error) {
+	s.planRequests.Add(1)
+	if err := s.validate(req); err != nil {
+		s.rejected.Add(1)
+		return Response{}, err
+	}
+	inst, err := canon.Canonicalize(req.App)
+	if err != nil {
+		s.rejected.Add(1)
+		return Response{}, err
+	}
+	s.register(inst)
+	return s.planCanonical(inst, req, nil)
+}
+
+// planCanonical serves an already-canonicalized instance. A non-nil
+// incumbent warm-starts the branch-and-bound search; it never changes the
+// solution (solve.Options.Incumbent contract), so it is deliberately not
+// part of the cache key.
+func (s *Server) planCanonical(inst *canon.Instance, req Request, incumbent *rat.Rat) (Response, error) {
+	key := cacheKey(inst.Hash(), req)
+	val, outcome, err := s.cache.Do(key, func() (cacheEntry, error) {
+		var sol solve.Solution
+		var solveErr error
+		submitErr := s.submit(func() {
+			s.solves.Add(1)
+			opts := req.solveOptions()
+			opts.Incumbent = incumbent
+			if req.Objective == solve.PeriodObjective {
+				sol, solveErr = solve.MinPeriod(inst.App(), req.Model, opts)
+			} else {
+				sol, solveErr = solve.MinLatency(inst.App(), req.Model, opts)
+			}
+		})
+		if submitErr != nil {
+			return cacheEntry{}, submitErr
+		}
+		if solveErr != nil {
+			return cacheEntry{}, solveErr
+		}
+		return cacheEntry{sol: sol, inst: inst}, nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Hash:     inst.Hash(),
+		Key:      key,
+		Outcome:  outcome,
+		Instance: val.inst,
+		Solution: val.sol,
+	}, nil
+}
+
+// BatchResult is one item of a PlanBatch answer.
+type BatchResult struct {
+	Response Response
+	Err      error
+}
+
+// PlanBatch submits every request concurrently (the pool bounds the actual
+// parallelism) and returns the results in request order. Identical
+// requests within one batch coalesce to a single solve.
+func (s *Server) PlanBatch(reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			out[i].Response, out[i].Err = s.Plan(req)
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+// applyUpdates builds the drifted application: the canonical app of inst
+// with the updated costs/selectivities, precedence unchanged.
+func applyUpdates(app *workflow.App, updates []Update) (*workflow.App, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("service: drift request has no updates")
+	}
+	services := app.Services()
+	for _, u := range updates {
+		i := app.IndexOf(u.Service)
+		if i < 0 {
+			return nil, fmt.Errorf("service: drift update names unknown service %q", u.Service)
+		}
+		if u.Cost == nil && u.Selectivity == nil {
+			return nil, fmt.Errorf("service: drift update for %q changes nothing", u.Service)
+		}
+		if u.Cost != nil {
+			services[i].Cost = *u.Cost
+		}
+		if u.Selectivity != nil {
+			services[i].Selectivity = *u.Selectivity
+		}
+	}
+	return workflow.New(services, app.Precedence().Edges())
+}
+
+// remapGraph rebuilds the execution graph of oldSol on the drifted
+// canonical app: edges are carried over by service NAME, because
+// canonicalization may order the drifted services differently.
+func remapGraph(oldApp, newApp *workflow.App, g *plan.ExecGraph) (*plan.ExecGraph, error) {
+	var edges [][2]int
+	for _, e := range g.Graph().Edges() {
+		u := newApp.IndexOf(oldApp.Name(e[0]))
+		v := newApp.IndexOf(oldApp.Name(e[1]))
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("service: drifted instance lost service %q or %q",
+				oldApp.Name(e[0]), oldApp.Name(e[1]))
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	return plan.Build(newApp, edges)
+}
+
+// familyMember reports whether eg belongs to the structural family the
+// request's branch-and-bound search will enumerate — the precondition for
+// using its re-evaluated objective as a warm-start incumbent.
+func familyMember(eg *plan.ExecGraph, req Request, app *workflow.App) bool {
+	switch solve.ResolveFamily(app, req.Objective, req.Family) {
+	case solve.FamilyChain:
+		return eg.IsChain()
+	case solve.FamilyForest:
+		return eg.IsForest()
+	default:
+		return true // every plan is a DAG
+	}
+}
+
+// Drift applies cost/selectivity updates to a registered instance and
+// re-plans. When the old plan is cached and the request uses branch and
+// bound, the old execution graph is re-evaluated on the drifted numbers
+// and its objective seeds the incumbent (solve.Options.Incumbent) — a
+// certified-achievable warm start, so the re-plan is bit-identical to a
+// cold solve of the drifted instance while pruning from the first
+// expansion. The report carries both objectives; the drifted instance is
+// registered under its new hash.
+func (s *Server) Drift(hash string, updates []Update, req Request) (DriftReport, error) {
+	s.driftRequests.Add(1)
+	oldInst, ok := s.Instance(hash)
+	if !ok {
+		s.rejected.Add(1)
+		return DriftReport{}, fmt.Errorf("service: no registered instance with hash %s", hash)
+	}
+	req.App = oldInst.App()
+	if err := s.validate(req); err != nil {
+		s.rejected.Add(1)
+		return DriftReport{}, err
+	}
+
+	newApp, err := applyUpdates(oldInst.App(), updates)
+	if err != nil {
+		s.rejected.Add(1)
+		return DriftReport{}, err
+	}
+	newInst, err := canon.Canonicalize(newApp)
+	if err != nil {
+		s.rejected.Add(1)
+		return DriftReport{}, err
+	}
+
+	// The old objective: served from cache when present, solved otherwise
+	// (the drift report always compares old vs new).
+	oldResp, err := s.planCanonical(oldInst, req, nil)
+	if err != nil {
+		return DriftReport{}, err
+	}
+
+	report := DriftReport{
+		OldHash:  oldInst.Hash(),
+		NewHash:  newInst.Hash(),
+		OldValue: oldResp.Solution.Value,
+	}
+
+	// Warm start: re-evaluate the old plan on the drifted instance. Only
+	// branch and bound consumes the seed, and only a family-member graph
+	// certifies a family-achievable value.
+	var incumbent *rat.Rat
+	if req.Method == solve.BranchBound {
+		if eg, err := remapGraph(oldInst.App(), newInst.App(), oldResp.Solution.Graph); err == nil {
+			if familyMember(eg, req, newInst.App()) {
+				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions()); err == nil {
+					v := re.Value
+					incumbent = &v
+					report.WarmStart = true
+					report.Incumbent = v
+				}
+			}
+		}
+	}
+
+	newReq := req
+	newReq.App = newInst.App()
+	newResp, err := s.planCanonical(newInst, newReq, incumbent)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	s.register(newInst)
+	report.NewValue = newResp.Solution.Value
+	report.Response = newResp
+	return report, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	registered := s.registry.Stats().Len
+	return Stats{
+		Cache:         s.cache.Stats(),
+		PlanRequests:  s.planRequests.Load(),
+		DriftRequests: s.driftRequests.Load(),
+		Rejected:      s.rejected.Load(),
+		Solves:        s.solves.Load(),
+		Registered:    registered,
+		QueueDepth:    len(s.queue),
+		Workers:       s.cfg.Workers,
+	}
+}

@@ -189,20 +189,30 @@ func reduceBnBShards(shards []bnbShard, opts Options) (Solution, error) {
 	return reduceShards(results)
 }
 
+// ResolveFamily resolves FamilyAuto to the structural family the
+// BranchBound method actually searches for this application and objective:
+// DAGs with precedence constraints, forests for MINPERIOD without them
+// (the Prop. 4 certificate), DAGs otherwise. Non-auto families pass
+// through. Warm-start callers (the planning service) use it to check that
+// a seed value is achievable within the searched family before offering it
+// as Options.Incumbent.
+func ResolveFamily(app *workflow.App, obj Objective, fam Family) Family {
+	if fam != FamilyAuto {
+		return fam
+	}
+	switch {
+	case app.HasPrecedence():
+		return FamilyDAG
+	case obj == PeriodObjective:
+		return FamilyForest
+	default:
+		return FamilyDAG
+	}
+}
+
 // branchBound dispatches the BranchBound method to its family search.
 func branchBound(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
-	fam := opts.Family
-	if fam == FamilyAuto {
-		switch {
-		case app.HasPrecedence():
-			fam = FamilyDAG
-		case obj == PeriodObjective:
-			fam = FamilyForest
-		default:
-			fam = FamilyDAG
-		}
-	}
-	switch fam {
+	switch ResolveFamily(app, obj, opts.Family) {
 	case FamilyChain:
 		return branchBoundChain(app, m, obj, opts)
 	case FamilyForest:
@@ -217,9 +227,14 @@ func branchBound(app *workflow.App, m plan.Model, obj Objective, opts Options) (
 // seedIncumbent primes the pruning threshold with fast in-family solutions:
 // the greedy chain (a chain is a forest is a DAG) and the hill climb, both
 // orchestrated with the same options as the search so their values are
-// comparable. Seeds only feed pruning — the search returns the first
-// enumerated graph reaching the optimum, never the seed itself.
+// comparable — plus the caller's warm-start value (Options.Incumbent), the
+// re-evaluated cached plan of the planning service's drift re-planning.
+// Seeds only feed pruning — the search returns the first enumerated graph
+// reaching the optimum, never the seed itself.
 func seedIncumbent(inc *incumbent, app *workflow.App, m plan.Model, obj Objective, opts Options) {
+	if opts.Incumbent != nil {
+		inc.offer(*opts.Incumbent)
+	}
 	if !app.HasPrecedence() {
 		if s, err := greedyChainSolution(app, m, obj, opts); err == nil {
 			inc.offer(s.Value)
@@ -245,6 +260,9 @@ func branchBoundChain(app *workflow.App, m plan.Model, obj Objective, opts Optio
 		return Solution{}, fmt.Errorf("solve: %d services too large for chain branch-and-bound (max %d)", n, maxN(opts, bnbMaxChainN))
 	}
 	inc := &incumbent{}
+	if opts.Incumbent != nil {
+		inc.offer(*opts.Incumbent)
+	}
 	if obj == PeriodObjective {
 		inc.offer(ChainPeriodValue(app, GreedyChainOrder(app, m), m))
 	} else {

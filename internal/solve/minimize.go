@@ -31,6 +31,21 @@ func MinLatency(app *workflow.App, m plan.Model, opts Options) (Solution, error)
 	return minimize(app, m, LatencyObjective, opts)
 }
 
+// Reevaluate orchestrates one fixed execution graph under the same option
+// normalization as the plan searches and returns the resulting Solution
+// (never marked Exact — no search was performed). It is the warm-start
+// companion of Options.Incumbent: re-evaluating a previously optimal graph
+// on an instance whose costs or selectivities drifted yields a certified
+// achievable objective to seed the branch-and-bound incumbent with.
+func Reevaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	sched, err := evaluate(eg, m, obj, opts.Orch)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Graph: eg, Sched: sched, Value: sched.Value}, nil
+}
+
 func minimize(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
 	opts = opts.withDefaults()
 	method := opts.Method

@@ -112,6 +112,19 @@ type Options struct {
 	// constraints, DAGs otherwise — the family the blind exact methods
 	// would certify).
 	Family Family
+	// Incumbent, when non-nil, seeds the branch-and-bound pruning
+	// threshold with an externally certified objective value before the
+	// search starts — the warm-start hook of the planning service, which
+	// re-evaluates a previously cached plan on a drifted instance and
+	// offers the result here. The value MUST be achievable on the instance
+	// being solved by a member of the searched structural family (e.g. the
+	// orchestrated objective of a chain plan when Family is FamilyChain):
+	// the shared-incumbent pruning rule is strict, so any such seed leaves
+	// the returned Solution bit-identical to the unseeded search while
+	// pruning harder from the root, whereas a value below the family
+	// optimum would cut the optimum away. Methods other than BranchBound
+	// ignore it.
+	Incumbent *rat.Rat
 	// Stats, when non-nil, receives the branch-and-bound search counters.
 	// The returned Solution is identical for every worker count, but the
 	// counters are not: with Workers > 1 the pruning threshold evolves
