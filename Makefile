@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build bins test test-short test-race bench bench-json fuzz vet check smoke-filterd
+.PHONY: build bins test test-short test-race bench bench-json fuzz vet check smoke-filterd smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,15 @@ test-short:
 
 # Concurrency soundness of the worker-pool search layer and the planning
 # service: full race runs of the pool, the sharded solvers (including the
-# branch-and-bound shared incumbent), the plan cache's singleflight and the
-# service's exactly-one-solve suite, plus one race pass of the concurrent
-# experiment harness (the rest of internal/experiments runs race+short —
-# its full sweep is covered unraced by `test`).
+# branch-and-bound shared incumbent and context cancellation), the plan
+# cache's singleflight, the service's exactly-one-solve / restart /
+# subscription suites, the persistent store and the cluster router, plus
+# one race pass of the concurrent experiment harness (the rest of
+# internal/experiments runs race+short — its full sweep is covered unraced
+# by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/plancache/ ./internal/service/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # One pass over every benchmark, including the parallel-vs-serial pairs.
@@ -51,6 +53,13 @@ bench-json:
 # the filterplan CLI answer (CI runs the same check).
 smoke-filterd:
 	./scripts/smoke_filterd.sh
+
+# End-to-end cluster smoke: 2 replicas + router, routed answer diffed
+# against the filterplan CLI, then the owning replica is killed mid-run
+# and the router must fail over to its local solve with the identical
+# value (CI runs the same check).
+smoke-cluster:
+	./scripts/smoke_cluster.sh
 
 # Short coverage-guided fuzz smoke of the operation-list JSON codec (the
 # corpus seeds also run as regular unit tests under `test`).

@@ -31,11 +31,16 @@ type benchmark struct {
 }
 
 type run struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU() and GOMAXPROCS the effective parallelism
+	// bound at record time. Together they make the 1-CPU-container caveat
+	// machine-readable: a run with cpus == 1 (or gomaxprocs == 1) cannot
+	// show a parallel-vs-serial speedup, whatever the code does.
 	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
 	Note       string      `json:"note,omitempty"`
 	Benchmarks []benchmark `json:"benchmarks"`
 }
@@ -79,6 +84,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Note:       *note,
 		Benchmarks: benchmarks,
 	})

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -27,6 +29,29 @@ ok  	repro	1.374s
 	}
 	if got[1].Name != "ExactForestParallel-4" || got[1].NsPerOp != 45743313 {
 		t.Errorf("second = %+v", got[1])
+	}
+}
+
+// TestRunRecordsParallelismEnvironment: every trajectory record carries
+// the CPU count AND the GOMAXPROCS bound, so the 1-CPU-container caveat
+// (ROADMAP) is machine-readable from BENCH_plan.json alone.
+func TestRunRecordsParallelismEnvironment(t *testing.T) {
+	data, err := json.Marshal(run{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"cpus", "gomaxprocs"} {
+		v, ok := doc[field].(float64)
+		if !ok || v < 1 {
+			t.Errorf("field %q = %v, want a positive count", field, doc[field])
+		}
 	}
 }
 

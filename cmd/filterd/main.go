@@ -5,27 +5,41 @@
 // Every instance is canonicalized (service permutation, rational
 // normalization, precedence closure — internal/canon) so equivalent
 // request bodies land on the same content hash; solved plans live in a
-// bounded LRU with singleflight deduplication (internal/plancache); and
-// drift updates re-plan warm-started from the cached solution
-// (internal/service).
+// bounded LRU with singleflight deduplication (internal/plancache); drift
+// updates re-plan warm-started from the cached solution and push
+// server-sent events to subscribers (internal/service); and every request
+// runs under its own context, so a disconnected client aborts its solve.
+//
+// With -data-dir the plan cache is persistent (internal/store): every
+// solve is written through to disk and warm-loaded on restart, so a
+// restarted daemon answers previously solved requests bit-identical to
+// before, without re-solving. With -peers the daemon is a cluster router
+// (internal/cluster): requests are forwarded to the replica owning the
+// canonical hash's shard (-shard-bits prefix bits), with health checks
+// and local-solve failover.
 //
 // Usage:
 //
 //	filterd [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-services N]
+//	        [-data-dir DIR] [-peers URL,URL,...] [-shard-bits B]
 //
 // API (JSON; instances use the filterplan -in file format, schedules the
 // oplist codec):
 //
-//	POST  /v1/plan            {"instance": {...}, "model": "inorder", "objective": "period", ...}
-//	POST  /v1/batch           {"requests": [{...}, ...]}
-//	PATCH /v1/instance/{hash} {"updates": [{"service": "C3", "cost": "7/2"}], "model": ...}
+//	POST  /v1/plan             {"instance": {...}, "model": "inorder", "objective": "period", ...}
+//	POST  /v1/batch            {"requests": [{...}, ...]}
+//	PATCH /v1/instance/{hash}  {"updates": [{"service": "C3", "cost": "7/2"}], "model": ...}
+//	GET   /v1/subscribe/{hash} server-sent events: one "replan" event per objective change
 //	GET   /v1/stats
 //
-// Example:
+// Example (single replica with persistence):
 //
-//	filterd -addr 127.0.0.1:8080 &
+//	filterd -addr 127.0.0.1:8080 -data-dir /var/lib/filterd &
 //	curl -s -X POST 127.0.0.1:8080/v1/plan \
 //	     -d "{\"instance\": $(cat testdata/webquery8.json), \"model\": \"inorder\"}"
+//
+// Example (2-replica cluster): see scripts/smoke_cluster.sh, which boots
+// two replicas plus a router and exercises routing and failover.
 //
 // See examples/service for a complete end-to-end program.
 package main
@@ -39,10 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -52,21 +69,62 @@ func main() {
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity (completed entries)")
 		queueSize   = flag.Int("queue", 64, "intake queue buffer")
 		maxServices = flag.Int("max-services", 64, "largest accepted instance")
+		dataDir     = flag.String("data-dir", "", "persistent plan store directory (empty: in-memory only)")
+		peers       = flag.String("peers", "", "comma-separated replica base URLs; when set, run as the cluster router")
+		shardBits   = flag.Int("shard-bits", 8, "canonical-hash prefix bits for cluster sharding (2^B shards)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	srv := service.New(service.Config{
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		QueueSize:   *queueSize,
 		MaxServices: *maxServices,
+		Store:       st,
 	})
+	if st != nil {
+		ls := st.Stats()
+		log.Printf("filterd: warm-loaded %d plans from %s (%d skipped)", ls.Loaded, *dataDir, ls.Skipped)
+	}
+
+	handler := http.Handler(service.Handler(srv))
+	var router *cluster.Router
+	if *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		var err error
+		router, err = cluster.New(cluster.Config{
+			Peers:     peerList,
+			ShardBits: *shardBits,
+			Local:     srv,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = router
+		log.Printf("filterd: routing %d shards across %d peers (local failover attached)",
+			1<<*shardBits, len(peerList))
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.Handler(srv),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Subscription streams end when the graceful drain starts; otherwise
+	// one connected subscriber would hold Shutdown to its full deadline.
+	httpSrv.RegisterOnShutdown(srv.EndSubscriptions)
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
@@ -78,21 +136,41 @@ func main() {
 	select {
 	case err := <-done:
 		// ListenAndServe only returns on failure (e.g. port in use).
-		srv.Close()
+		shutdown(srv, router, st)
 		fatal(err)
 	case s := <-sig:
 		log.Printf("filterd: %v — shutting down", s)
 	}
 
+	// Graceful shutdown: stop accepting, drain in-flight requests under a
+	// deadline, then stop the pool and flush the store.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("filterd: shutdown: %v", err)
 	}
-	srv.Close()
-	st := srv.Stats()
+	shutdown(srv, router, st)
+	stats := srv.Stats()
 	log.Printf("filterd: served %d plan requests (%d hits, %d coalesced, %d solves)",
-		st.PlanRequests, st.Cache.Hits, st.Cache.Coalesced, st.Solves)
+		stats.PlanRequests, stats.Cache.Hits, stats.Cache.Coalesced, stats.Solves)
+}
+
+// shutdown releases the daemon's moving parts in dependency order: router
+// health loop, solver pool, then the store flush (every entry is already
+// on disk write-through; the flush forces directory metadata out too).
+func shutdown(srv *service.Server, router *cluster.Router, st *store.Store) {
+	if router != nil {
+		router.Close()
+	}
+	srv.Close()
+	if st != nil {
+		if err := st.Flush(); err != nil {
+			log.Printf("filterd: store flush: %v", err)
+		} else {
+			ss := st.Stats()
+			log.Printf("filterd: store flushed (%d writes this run, %d write errors)", ss.Writes, ss.WriteErrors)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,26 +1,43 @@
 // Service quickstart: run the filterd planning service in-process and
 // drive its HTTP API end to end — plan an instance, hit the cache with an
-// equivalent permuted listing, batch-plan, drift a cost and watch the
-// warm-started re-plan, and read the counters.
+// equivalent permuted listing, batch-plan, subscribe to re-plan events,
+// drift a cost and watch the warm-started re-plan push one event, restart
+// the service over its persistent store and get the same answer warm, and
+// read the counters.
 //
-// The same API is served standalone by `go run ./cmd/filterd`; everything
+// The same API is served standalone by `go run ./cmd/filterd` (add
+// -data-dir for persistence, -peers for the cluster router); everything
 // below works unchanged against it (replace the test listener's URL).
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
-	// The daemon's core, embedded: 2 workers, default cache.
-	srv := service.New(service.Config{Workers: 2})
+	// The daemon's core, embedded: 2 workers, default cache, persistent
+	// plan store (what filterd -data-dir wires up).
+	dir, err := os.MkdirTemp("", "filterd-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 2, Store: st})
 	defer srv.Close()
 	ts := httptest.NewServer(service.Handler(srv))
 	defer ts.Close()
@@ -66,6 +83,18 @@ func main() {
 		fmt.Printf("  %-8s period %s\n", p["model"], p["value"])
 	}
 
+	fmt.Println("== GET /v1/subscribe/{hash}: listen for re-plan events ==")
+	sub, err := http.Get(fmt.Sprintf("%s/v1/subscribe/%s", ts.URL, plan1["hash"]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Body.Close()
+	events := bufio.NewReader(sub.Body)
+	if _, err := events.ReadString('\n'); err != nil { // ": subscribed <hash>" preamble
+		log.Fatal(err)
+	}
+	fmt.Println("  subscribed (server-sent events)")
+
 	fmt.Println("== PATCH /v1/instance/{hash}: C3's cost drifts 4 → 8 ==")
 	drift := patch(fmt.Sprintf("%s/v1/instance/%s", ts.URL, plan1["hash"]),
 		`{"model": "inorder", "objective": "period", "method": "bnb",
@@ -73,11 +102,35 @@ func main() {
 	fmt.Printf("  period %s → %s (warm start: %v, incumbent %v)\n",
 		drift["old_value"], drift["new_value"], drift["warm_start"], drift["incumbent"])
 
+	fmt.Println("== the re-plan pushed one SSE event to the subscriber ==")
+	for {
+		line, err := events.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			fmt.Printf("  event: %s", strings.TrimPrefix(line, "data: "))
+			break
+		}
+	}
+
+	fmt.Println("== restart over the persistent store: warm, bit-identical ==")
+	srv2 := service.New(service.Config{Workers: 2, Store: st})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(service.Handler(srv2))
+	defer ts2.Close()
+	replay := post(ts2.URL+"/v1/plan", fmt.Sprintf(
+		`{"instance": %s, "model": "inorder", "objective": "period"}`, instance))
+	fmt.Printf("  period %s (outcome: %s — no solve after the restart; value unchanged: %v)\n",
+		replay["value"], replay["outcome"], replay["value"] == plan1["value"])
+
 	fmt.Println("== GET /v1/stats ==")
 	stats := get(ts.URL + "/v1/stats")
 	fmt.Printf("  %v plan requests, %v solves, %v hits, %v coalesced, %v instances registered\n",
 		stats["plan_requests"], stats["solves"], stats["cache_hits"],
 		stats["cache_coalesced"], stats["registered_instances"])
+	fmt.Printf("  persistent: %v (%v writes), %v events published\n",
+		stats["persistent"], stats["store_writes"], stats["events_published"])
 }
 
 func post(url, body string) map[string]any {

@@ -1,0 +1,502 @@
+// Package cluster shards the planning service across filterd replicas by
+// canonical-hash prefix — the horizontal half of the service-hardening
+// story (DESIGN.md §4; internal/store is the vertical, per-replica half).
+//
+// The canonical SHA-256 hash (package canon) is uniform and stable, so its
+// leading bits are a ready-made shard key: with B shard bits the hash
+// space splits into 2^B shards assigned round-robin to the N replicas, and
+// every request for one canonical instance lands on the same replica —
+// whose plan cache and persistent store therefore concentrate that
+// instance's traffic, exactly like a single-replica deployment would.
+//
+// The Router is a thin gateway in front of the replicas: it canonicalizes
+// enough of each request to know the hash (bodies for /v1/plan and
+// /v1/batch items, the path for /v1/instance/{hash} and
+// /v1/subscribe/{hash}), forwards to the owner, and falls back to solving
+// on its own embedded service when the owner is down (health checks plus
+// on-error demotion). Every response carries X-Filterd-Shard,
+// X-Filterd-Shard-Owner and X-Filterd-Served-By headers, so clients and
+// the smoke tests can observe the routing.
+//
+// Determinism across the cluster: every replica solves the canonical form
+// with Workers: 1, so routed, failed-over and direct answers for one
+// canonical instance are bit-identical (pinned by cluster_test.go) — the
+// repository's determinism invariant extended across the wire.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/service"
+	"repro/internal/workflow"
+)
+
+// Config tunes a Router. Peers and Local are required.
+type Config struct {
+	// Peers are the replicas' base URLs (e.g. http://10.0.0.1:8080), in
+	// shard-owner order: shard s belongs to Peers[s mod len(Peers)].
+	Peers []string
+	// ShardBits is the hash-prefix width B: 2^B shards (default 8,
+	// clamped to [1, 16]). More shards than peers just means finer
+	// round-robin interleaving.
+	ShardBits int
+	// Local is the embedded failover service: requests whose owner is
+	// down are solved here. Determinism makes the failover transparent —
+	// the local answer is bit-identical to the owner's.
+	Local *service.Server
+	// HealthInterval is the peer health-check period (default 2s).
+	HealthInterval time.Duration
+	// Client performs the forwards (default: http.Client without a
+	// global timeout — per-request contexts bound the forwards, and
+	// subscribe streams must live arbitrarily long).
+	Client *http.Client
+}
+
+// peer is one replica and its health state. seen records whether a health
+// probe ever succeeded: a never-seen peer is not demoted by failed probes
+// (routers and replicas boot together, and demoting a replica that is
+// merely a beat slower to bind would divert its shards to local cold
+// solves for a whole health interval) — a genuinely dead peer is still
+// demoted immediately by the forward-error path the first time it is
+// used.
+type peer struct {
+	url  string
+	up   atomic.Bool
+	seen atomic.Bool
+}
+
+// Stats is a snapshot of the router counters.
+type Stats struct {
+	// Shards is 2^ShardBits; PeersUp counts currently healthy replicas.
+	Shards  int
+	Peers   int
+	PeersUp int
+	// Forwarded counts requests served by their owner; LocalServed the
+	// requests the router owned locally or could not route (bad bodies
+	// answered without routing included); Failovers the forwards that
+	// fell back to the local service because the owner was down or
+	// erroring.
+	Forwarded   int64
+	LocalServed int64
+	Failovers   int64
+}
+
+// Router is the gateway handler. Create with New, release with Close.
+type Router struct {
+	cfg    Config
+	peers  []*peer
+	local  http.Handler
+	client *http.Client
+	mux    *http.ServeMux
+
+	stop     chan struct{}
+	healthWg sync.WaitGroup
+
+	forwarded   atomic.Int64
+	localServed atomic.Int64
+	failovers   atomic.Int64
+}
+
+// New validates the configuration and starts the health-check loop.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	if cfg.Local == nil {
+		return nil, fmt.Errorf("cluster: no local failover service")
+	}
+	if cfg.ShardBits == 0 {
+		cfg.ShardBits = 8
+	}
+	if cfg.ShardBits < 1 || cfg.ShardBits > 16 {
+		return nil, fmt.Errorf("cluster: shard bits %d out of range [1, 16]", cfg.ShardBits)
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		local:  service.Handler(cfg.Local),
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+	}
+	for _, u := range cfg.Peers {
+		p := &peer{url: u}
+		p.up.Store(true) // optimistic: demoted on first failure
+		rt.peers = append(rt.peers, p)
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/plan", rt.handlePlan)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("PATCH /v1/instance/{hash}", rt.handleByHashPath)
+	rt.mux.HandleFunc("GET /v1/subscribe/{hash}", rt.handleByHashPath)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.healthWg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop. In-flight requests finish on their own.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.healthWg.Wait()
+}
+
+// healthLoop probes every peer's /v1/stats on the configured period,
+// promoting and demoting them. A demoted peer heals automatically at the
+// next successful probe.
+func (rt *Router) healthLoop() {
+	defer rt.healthWg.Done()
+	ticker := time.NewTicker(rt.cfg.HealthInterval)
+	defer ticker.Stop()
+	probe := &http.Client{Timeout: rt.cfg.HealthInterval}
+	check := func() {
+		for _, p := range rt.peers {
+			resp, err := probe.Get(p.url + "/v1/stats")
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			switch {
+			case ok:
+				p.seen.Store(true)
+				p.up.Store(true)
+			case p.seen.Load():
+				p.up.Store(false)
+			}
+		}
+	}
+	check()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			check()
+		}
+	}
+}
+
+// shardOf maps a canonical hash to its shard: the leading ShardBits bits
+// of the hex digest.
+func (rt *Router) shardOf(hash string) (int, error) {
+	if len(hash) < 8 {
+		return 0, fmt.Errorf("cluster: hash %q too short", hash)
+	}
+	v, err := strconv.ParseUint(hash[:8], 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: hash %q is not hex", hash)
+	}
+	return int(v >> (32 - rt.cfg.ShardBits)), nil
+}
+
+// ownerOf resolves a shard's replica.
+func (rt *Router) ownerOf(shard int) *peer {
+	return rt.peers[shard%len(rt.peers)]
+}
+
+// Stats returns a snapshot of the router counters.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Shards:      1 << rt.cfg.ShardBits,
+		Peers:       len(rt.peers),
+		Forwarded:   rt.forwarded.Load(),
+		LocalServed: rt.localServed.Load(),
+		Failovers:   rt.failovers.Load(),
+	}
+	for _, p := range rt.peers {
+		if p.up.Load() {
+			st.PeersUp++
+		}
+	}
+	return st
+}
+
+// maxBodyBytes mirrors the service's request-body bound.
+const maxBodyBytes = 4 << 20
+
+// ServeHTTP routes /v1/* by canonical-hash prefix (the route table is
+// built once in New).
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// planInstanceJSON is the slice of a plan request the router must see: the
+// instance (for the canonical hash). Everything else passes through
+// opaquely.
+type planInstanceJSON struct {
+	Instance json.RawMessage `json:"instance"`
+}
+
+// hashOfPlanBody canonicalizes the request body's instance.
+func hashOfPlanBody(body []byte) (string, error) {
+	var doc planInstanceJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return "", fmt.Errorf("cluster: parsing request body: %w", err)
+	}
+	if len(doc.Instance) == 0 {
+		return "", fmt.Errorf("cluster: request has no instance")
+	}
+	app := new(workflow.App)
+	if err := app.UnmarshalJSON(doc.Instance); err != nil {
+		return "", fmt.Errorf("cluster: parsing instance: %w", err)
+	}
+	inst, err := canon.Canonicalize(app)
+	if err != nil {
+		return "", err
+	}
+	return inst.Hash(), nil
+}
+
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	hash, err := hashOfPlanBody(body)
+	if err != nil {
+		// The local service produces the canonical error answer (and the
+		// canonical status) for malformed requests.
+		rt.serveLocal(w, r, body, "unroutable")
+		return
+	}
+	rt.route(w, r, hash, r.URL.Path, body)
+}
+
+// routedResponse captures a forwarded or locally served answer for
+// reassembly (the batch path).
+type routedResponse struct {
+	status int
+	body   []byte
+}
+
+// routeItem routes one plan body and captures the answer instead of
+// writing it.
+func (rt *Router) routeItem(r *http.Request, body []byte) routedResponse {
+	rec := httptest.NewRecorder()
+	req := r.Clone(r.Context())
+	req.URL.Path = "/v1/plan"
+	hash, err := hashOfPlanBody(body)
+	if err != nil {
+		rt.serveLocal(rec, req, body, "unroutable")
+	} else {
+		rt.route(rec, req, hash, "/v1/plan", body)
+	}
+	return routedResponse{status: rec.Code, body: rec.Body.Bytes()}
+}
+
+// batchJSON mirrors the service's wire format closely enough to split a
+// batch into per-item routed plan requests and reassemble the answers.
+type batchJSON struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+type batchItemJSON struct {
+	Error string          `json:"error,omitempty"`
+	Plan  json.RawMessage `json:"plan,omitempty"`
+}
+
+// handleBatch fans the items out to their owners concurrently and
+// reassembles the answers in item order — a batch spanning shards
+// parallelizes across replicas, which a single replica cannot do.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var doc batchJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: parsing request body: %w", err))
+		return
+	}
+	if len(doc.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: batch has no requests"))
+		return
+	}
+	answers := make([]routedResponse, len(doc.Requests))
+	var wg sync.WaitGroup
+	for i, item := range doc.Requests {
+		wg.Add(1)
+		go func(i int, item []byte) {
+			defer wg.Done()
+			answers[i] = rt.routeItem(r, item)
+		}(i, item)
+	}
+	wg.Wait()
+
+	out := struct {
+		Results []batchItemJSON `json:"results"`
+	}{Results: make([]batchItemJSON, len(answers))}
+	for i, a := range answers {
+		if a.status == http.StatusOK {
+			out.Results[i] = batchItemJSON{Plan: json.RawMessage(a.body)}
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(a.body, &e); err != nil || e.Error == "" {
+			e.Error = fmt.Sprintf("cluster: item failed with status %d", a.status)
+		}
+		out.Results[i] = batchItemJSON{Error: e.Error}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleByHashPath routes requests whose canonical hash is the final path
+// element (PATCH /v1/instance/{hash}, GET /v1/subscribe/{hash}).
+func (rt *Router) handleByHashPath(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rt.route(w, r, r.PathValue("hash"), r.URL.Path, body)
+}
+
+// handleStats serves the router's own counters plus per-peer health (the
+// replicas' solver counters live on the replicas).
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := rt.Stats()
+	type peerJSON struct {
+		URL string `json:"url"`
+		Up  bool   `json:"up"`
+	}
+	out := struct {
+		Role        string     `json:"role"`
+		Shards      int        `json:"shards"`
+		Forwarded   int64      `json:"forwarded"`
+		LocalServed int64      `json:"local_served"`
+		Failovers   int64      `json:"failovers"`
+		Peers       []peerJSON `json:"peers"`
+	}{
+		Role:        "router",
+		Shards:      st.Shards,
+		Forwarded:   st.Forwarded,
+		LocalServed: st.LocalServed,
+		Failovers:   st.Failovers,
+	}
+	for _, p := range rt.peers {
+		out.Peers = append(out.Peers, peerJSON{URL: p.url, Up: p.up.Load()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// route forwards one request to the owner of hash, falling back to the
+// local service when the owner is down (a hash the router cannot parse is
+// served locally too — the replica produces the canonical error). Routing
+// headers record the decision on every response.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, hash, path string, body []byte) {
+	shard, err := rt.shardOf(hash)
+	if err != nil {
+		rt.serveLocal(w, r, body, "unroutable")
+		return
+	}
+	owner := rt.ownerOf(shard)
+	h := w.Header()
+	h.Set("X-Filterd-Shard", strconv.Itoa(shard))
+	h.Set("X-Filterd-Shard-Owner", owner.url)
+	if owner.up.Load() && rt.forward(w, r, owner, path, body) {
+		return
+	}
+	// Failover: the owner is down (or just failed) — solve locally. The
+	// determinism invariant makes the answer bit-identical to the
+	// owner's, so clients only notice via the Served-By header.
+	rt.failovers.Add(1)
+	rt.serveLocal(w, r, body, "local-failover")
+}
+
+// forward proxies the request to p. A transport-level failure demotes the
+// peer and reports false so the caller can fail over; once response bytes
+// have been copied the forward is committed (true).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path string, body []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.url+path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// Demote only when the PEER failed: a forward aborted because the
+		// client's own context died says nothing about the peer's health,
+		// and demoting there would divert the peer's shards to local cold
+		// solves for a whole health interval.
+		if r.Context().Err() == nil {
+			p.up.Store(false)
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	rt.forwarded.Add(1)
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set("X-Filterd-Served-By", p.url)
+	w.WriteHeader(resp.StatusCode)
+	flushingCopy(w, resp.Body)
+	return true
+}
+
+// serveLocal answers from the embedded service.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte, why string) {
+	rt.localServed.Add(1)
+	w.Header().Set("X-Filterd-Served-By", why)
+	req := r.Clone(r.Context())
+	req.Body = io.NopCloser(bytes.NewReader(body))
+	req.ContentLength = int64(len(body))
+	rt.local.ServeHTTP(w, req)
+}
+
+// flushingCopy streams src to w, flushing after every read so proxied
+// server-sent events arrive as they happen, not when the stream closes.
+func flushingCopy(w http.ResponseWriter, src io.Reader) {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/service"
+	"repro/internal/solve"
+	"repro/internal/store"
+	"repro/internal/texttab"
+)
+
+// E17StoreCluster measures the PR-4 distribution subsystem on the shipped
+// testdata instances: restarting a replica over a populated plan store
+// (warm-load) versus re-solving from scratch (cold start), and the warm
+// request throughput of a 2-replica sharded cluster behind the router
+// versus a standalone replica. Correctness gates the verdict — the
+// restarted replica must answer warm (a cache hit, zero solves) with the
+// cold objective, and routed answers must equal local ones; the wall-clock
+// columns are informational like E13's and E16's.
+func E17StoreCluster(budget int) Report { return e17StoreCluster(budget, 0) }
+
+// e17StoreCluster bounds the services' solver pools to solverWorkers
+// (1 under the parallel harness, which owns the parallelism budget).
+func e17StoreCluster(budget, solverWorkers int) Report {
+	tab := texttab.New("instance", "n", "cold solve", "restart warm-load", "speedup",
+		"local req/s", "routed req/s", "warm-hit", "match")
+	ok := true
+
+	instances, err := loadTestdataInstances()
+	if err != nil {
+		return fail("E17", "plan store + cluster", err)
+	}
+	warmRequests := 50 * budget
+
+	for _, ti := range instances {
+		dir, err := os.MkdirTemp("", "filterd-e17-*")
+		if err != nil {
+			return fail("E17", "plan store + cluster", err)
+		}
+		row, err := e17Row(ti, dir, warmRequests, solverWorkers)
+		os.RemoveAll(dir)
+		if err != nil {
+			return fail("E17", "plan store + cluster", err)
+		}
+		ok = ok && row.warmHit && row.match
+		speedup := "n/a"
+		if row.warmLoad > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(row.cold)/float64(row.warmLoad))
+		}
+		tab.Row(ti.name, ti.app.N(), roundDur(row.cold), roundDur(row.warmLoad), speedup,
+			fmt.Sprintf("%.0f", row.localRate), fmt.Sprintf("%.0f", row.routedRate),
+			mark(row.warmHit), mark(row.match))
+	}
+
+	return Report{
+		ID: "E17", Title: "Plan store warm-load vs cold start; routed vs local throughput", Table: tab, OK: ok,
+		Notes: []string{
+			"'cold solve' is the first request against an empty persistent store (full plan search + write-through persist); 'restart warm-load' is a full replica restart over the populated store — service construction with warm-load plus the first request, which must be a cache hit with zero solver runs.",
+			fmt.Sprintf("'local req/s' repeats %d warm requests against a standalone replica in process; 'routed req/s' sends the same %d warm requests over HTTP through the cluster router to a 2-replica cluster (one network hop more per request).", warmRequests, warmRequests),
+			"'warm-hit' requires the restarted replica to answer from the warm-loaded cache (outcome hit, 0 solves); 'match' requires the restarted, local and routed objective values to all equal the cold solve's.",
+			"Wall-clock columns are informational and vary per host; the verdict gates only on the correctness checks.",
+		},
+	}
+}
+
+type e17Results struct {
+	cold, warmLoad        time.Duration
+	localRate, routedRate float64
+	warmHit, match        bool
+}
+
+func e17Row(ti testdataInstance, dir string, warmRequests, solverWorkers int) (e17Results, error) {
+	var out e17Results
+	req := service.Request{App: ti.app, Model: plan.Overlap, Objective: solve.PeriodObjective}
+
+	// Phase 1: cold solve against an empty store (write-through persist).
+	st1, err := store.Open(dir)
+	if err != nil {
+		return out, err
+	}
+	srv1 := service.New(service.Config{Workers: solverWorkers, Store: st1})
+	coldStart := time.Now()
+	cold, err := srv1.Plan(req)
+	out.cold = time.Since(coldStart)
+	srv1.Close()
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 2: replica restart — warm-load the store, then the first
+	// request must be served warm, without a solver run.
+	warmStart := time.Now()
+	st2, err := store.Open(dir)
+	if err != nil {
+		return out, err
+	}
+	srv2 := service.New(service.Config{Workers: solverWorkers, Store: st2})
+	defer srv2.Close()
+	warm, err := srv2.Plan(req)
+	out.warmLoad = time.Since(warmStart)
+	if err != nil {
+		return out, err
+	}
+	out.warmHit = warm.Outcome.String() == "hit" && srv2.Stats().Solves == 0
+	out.match = warm.Solution.Value.Equal(cold.Solution.Value)
+
+	// Phase 3a: standalone warm throughput (in-process, like E16).
+	localStart := time.Now()
+	for i := 0; i < warmRequests; i++ {
+		resp, err := srv2.Plan(req)
+		if err != nil {
+			return out, err
+		}
+		out.match = out.match && resp.Solution.Value.Equal(cold.Solution.Value)
+	}
+	if d := time.Since(localStart); d > 0 {
+		out.localRate = float64(warmRequests) / d.Seconds()
+	}
+
+	// Phase 3b: routed warm throughput — a 2-replica cluster behind the
+	// router, driven over HTTP.
+	var replicas []*httptest.Server
+	var peers []string
+	var servers []*service.Server
+	for i := 0; i < 2; i++ {
+		s := service.New(service.Config{Workers: solverWorkers})
+		ts := httptest.NewServer(service.Handler(s))
+		servers = append(servers, s)
+		replicas = append(replicas, ts)
+		peers = append(peers, ts.URL)
+	}
+	local := service.New(service.Config{Workers: solverWorkers})
+	rt, err := cluster.New(cluster.Config{Peers: peers, Local: local})
+	if err != nil {
+		return out, err
+	}
+	gw := httptest.NewServer(rt)
+	defer func() {
+		gw.Close()
+		rt.Close()
+		local.Close()
+		for i := range replicas {
+			replicas[i].Close()
+			servers[i].Close()
+		}
+	}()
+
+	instData, err := ti.app.MarshalJSON()
+	if err != nil {
+		return out, err
+	}
+	body := fmt.Sprintf(`{"instance": %s, "model": "overlap", "objective": "period"}`, instData)
+	routedValue := func() (string, error) {
+		resp, err := http.Post(gw.URL+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Value string `json:"value"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return "", err
+		}
+		if doc.Error != "" {
+			return "", fmt.Errorf("routed request failed: %s", doc.Error)
+		}
+		return doc.Value, nil
+	}
+	// Warm the owner, then measure.
+	v, err := routedValue()
+	if err != nil {
+		return out, err
+	}
+	out.match = out.match && v == cold.Solution.Value.String()
+	routedStart := time.Now()
+	for i := 0; i < warmRequests; i++ {
+		if v, err = routedValue(); err != nil {
+			return out, err
+		}
+		out.match = out.match && v == cold.Solution.Value.String()
+	}
+	if d := time.Since(routedStart); d > 0 {
+		out.routedRate = float64(warmRequests) / d.Seconds()
+	}
+	return out, nil
+}

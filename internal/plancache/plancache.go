@@ -132,6 +132,26 @@ func (c *Cache[V]) Do(key string, solve func() (V, error)) (V, Outcome, error) {
 	return val, Miss, err
 }
 
+// Seed inserts a completed entry without running a solve and without
+// touching the hit/miss counters — the warm-load path of the persistent
+// plan store, which replays previously solved entries into the LRU at
+// startup. An existing entry (completed or in flight) is left untouched
+// and Seed reports false; capacity is enforced as usual, so seeding more
+// than Cap entries keeps only the most recently seeded ones.
+func (c *Cache[V]) Seed(key string, val V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &entry[V]{key: key, ready: make(chan struct{}), val: val}
+	close(e.ready)
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.evictLocked()
+	return true
+}
+
 // Get returns the cached value for key without solving. It counts as a hit
 // (and refreshes recency) when present and completed; in-flight entries are
 // not waited for.

@@ -209,3 +209,38 @@ func TestMinimumCapacity(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestSeed: warm-loaded entries serve as hits without a solve, never
+// replace existing entries, don't disturb the hit/miss counters at seed
+// time, and respect the capacity bound.
+func TestSeed(t *testing.T) {
+	c := New[int](2)
+	if !c.Seed("a", 1) {
+		t.Fatal("seeding a fresh key failed")
+	}
+	if c.Seed("a", 99) {
+		t.Fatal("re-seeding an existing key succeeded")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Len != 1 {
+		t.Fatalf("stats after seed = %+v", st)
+	}
+	v, out, err := c.Do("a", func() (int, error) { t.Fatal("solved a seeded key"); return 0, nil })
+	if v != 1 || out != Hit || err != nil {
+		t.Fatalf("Do on seeded key = %d, %s, %v", v, out, err)
+	}
+	// Capacity still bounds seeded entries: after seeding "b" and "c",
+	// "a" is the least recently used and falls out.
+	c.Seed("b", 2)
+	c.Seed("c", 3)
+	if _, ok := c.Get("a"); ok {
+		t.Error("LRU entry survived past capacity")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Len != 2 || st.Evictions != 1 {
+		t.Errorf("stats after overflow = %+v", st)
+	}
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestHTTPPatchErrorPaths sweeps the PATCH /v1/instance/{hash} failure
+// modes: every malformed body fails with the right status, fails cleanly
+// (no cache entry, no event, no registry growth) and leaves the instance
+// re-plannable.
+func TestHTTPPatchErrorPaths(t *testing.T) {
+	s, ts := newTestAPI(t)
+	hash, target, _ := planAndTarget(t, s)
+	before := s.Stats()
+
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"not JSON", `{{{`, http.StatusBadRequest},
+		{"truncated JSON", `{"updates": [{"service":`, http.StatusBadRequest},
+		{"bad cost rational", fmt.Sprintf(`{"updates": [{"service": %q, "cost": "7/0"}]}`, target), http.StatusBadRequest},
+		{"bad selectivity rational", fmt.Sprintf(`{"updates": [{"service": %q, "selectivity": "x"}]}`, target), http.StatusBadRequest},
+		{"unknown model", fmt.Sprintf(`{"model": "bogus", "updates": [{"service": %q, "cost": "2"}]}`, target), http.StatusBadRequest},
+		{"no updates", `{"updates": []}`, http.StatusUnprocessableEntity},
+		{"unknown service", `{"updates": [{"service": "nope", "cost": "2"}]}`, http.StatusUnprocessableEntity},
+		{"update changes nothing", fmt.Sprintf(`{"updates": [{"service": %q}]}`, target), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp := doJSON(t, "PATCH", ts.URL+"/v1/instance/"+hash, tc.body, nil)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+	// Unknown hash stays 404 whatever the body.
+	resp := doJSON(t, "PATCH", ts.URL+"/v1/instance/0000", `{"updates": [{"service": "a", "cost": "2"}]}`, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash: status %d, want 404", resp.StatusCode)
+	}
+
+	after := s.Stats()
+	if after.Cache.Len != before.Cache.Len {
+		t.Errorf("failed PATCHes changed the cache: %d -> %d entries", before.Cache.Len, after.Cache.Len)
+	}
+	if after.Registered != before.Registered {
+		t.Errorf("failed PATCHes registered instances: %d -> %d", before.Registered, after.Registered)
+	}
+	if after.EventsPublished != before.EventsPublished {
+		t.Errorf("failed PATCHes published events")
+	}
+
+	// The hash still drifts fine after the failure sweep.
+	ok := doJSON(t, "PATCH", ts.URL+"/v1/instance/"+hash,
+		fmt.Sprintf(`{"model": "overlap", "objective": "period", "updates": [{"service": %q, "cost": "5"}]}`, target), nil)
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Errorf("valid PATCH after the sweep: status %d", ok.StatusCode)
+	}
+}

@@ -11,9 +11,18 @@ package service
 //	POST  /v1/plan            plan one instance
 //	POST  /v1/batch           plan many instances in one request
 //	PATCH /v1/instance/{hash} drift re-planning against a registered instance
-//	GET   /v1/stats           cache/queue/solve counters
+//	GET   /v1/subscribe/{hash} server-sent re-plan events for a registered instance
+//	GET   /v1/stats           cache/queue/solve/store/subscription counters
+//
+// Every handler runs under the request's context: a client that
+// disconnects or times out aborts its own solve (the search loops poll
+// the context), the aborted error is never cached, and the response
+// status is 499 (client closed request, the de-facto convention) — a dead
+// client stops burning the pool.
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -28,6 +37,21 @@ import (
 // maxBodyBytes bounds request bodies (instances are small; 4 MiB is
 // generous even for batches).
 const maxBodyBytes = 4 << 20
+
+// StatusClientClosedRequest is the response status of a request whose own
+// context died mid-solve (canceled or past its deadline). 499 is nginx's
+// convention; Go's stdlib has no name for it.
+const StatusClientClosedRequest = 499
+
+// errStatus maps a service error to its response status: context death is
+// the client's doing (499), validation problems are 422, everything else
+// stays a server-side 500.
+func errStatus(err error, fallback int) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return StatusClientClosedRequest
+	}
+	return fallback
+}
 
 // planParamsJSON are the solve parameters shared by plan, batch items and
 // drift requests. Empty strings mean the defaults.
@@ -177,6 +201,22 @@ type statsJSON struct {
 	Registered     int   `json:"registered_instances"`
 	QueueDepth     int   `json:"queue_depth"`
 	Workers        int   `json:"workers"`
+	// Persistence (internal/store) and drift-subscription counters.
+	Persistent      bool  `json:"persistent"`
+	StoreWrites     int64 `json:"store_writes,omitempty"`
+	StoreLoaded     int64 `json:"store_loaded,omitempty"`
+	StoreSkipped    int64 `json:"store_skipped,omitempty"`
+	Subscribers     int   `json:"subscribers"`
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+}
+
+// eventJSON is the SSE payload of one re-plan notification.
+type eventJSON struct {
+	Hash     string  `json:"hash"`
+	NewHash  string  `json:"new_hash"`
+	OldValue rat.Rat `json:"old_value"`
+	NewValue rat.Rat `json:"new_value"`
 }
 
 // Handler returns the HTTP API of the server.
@@ -192,9 +232,9 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := s.Plan(req)
+		resp, err := s.PlanContext(r.Context(), req)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errStatus(err, http.StatusUnprocessableEntity), err)
 			return
 		}
 		out, err := planResponse(resp, req)
@@ -225,7 +265,7 @@ func Handler(s *Server) http.Handler {
 				valid = append(valid, reqs[i])
 			}
 		}
-		results := s.PlanBatch(valid)
+		results := s.PlanBatchContext(r.Context(), valid)
 		out := batchResponseJSON{Results: make([]batchItemJSON, len(doc.Requests))}
 		vi := 0
 		for i := range doc.Requests {
@@ -284,9 +324,9 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		report, err := s.Drift(hash, updates, params)
+		report, err := s.DriftContext(r.Context(), hash, updates, params)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errStatus(err, http.StatusUnprocessableEntity), err)
 			return
 		}
 		pr, err := planResponse(report.Response, params)
@@ -309,23 +349,76 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
+	mux.HandleFunc("GET /v1/subscribe/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		if _, ok := s.Instance(hash); !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("service: no registered instance with hash %s", hash))
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported by this server"))
+			return
+		}
+		events, cancel := s.Subscribe(hash)
+		defer cancel()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		// An immediate comment line tells the client the stream is live
+		// before the first (possibly much later) re-plan event.
+		fmt.Fprintf(w, ": subscribed %s\n\n", hash)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-s.Closing():
+				// Server shutdown ends the stream so a connected
+				// subscriber cannot stall http.Server.Shutdown to its
+				// deadline.
+				return
+			case ev := <-events:
+				data, err := json.Marshal(eventJSON{
+					Hash:     ev.Hash,
+					NewHash:  ev.NewHash,
+					OldValue: ev.OldValue,
+					NewValue: ev.NewValue,
+				})
+				if err != nil {
+					log.Printf("service: encoding event: %v", err)
+					return
+				}
+				fmt.Fprintf(w, "event: replan\ndata: %s\n\n", data)
+				fl.Flush()
+			}
+		}
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		writeJSON(w, http.StatusOK, statsJSON{
-			CacheHits:      st.Cache.Hits,
-			CacheMisses:    st.Cache.Misses,
-			CacheCoalesced: st.Cache.Coalesced,
-			CacheEvictions: st.Cache.Evictions,
-			CacheLen:       st.Cache.Len,
-			CacheCap:       st.Cache.Cap,
-			InFlight:       st.Cache.InFlight,
-			PlanRequests:   st.PlanRequests,
-			DriftRequests:  st.DriftRequests,
-			Rejected:       st.Rejected,
-			Solves:         st.Solves,
-			Registered:     st.Registered,
-			QueueDepth:     st.QueueDepth,
-			Workers:        st.Workers,
+			CacheHits:       st.Cache.Hits,
+			CacheMisses:     st.Cache.Misses,
+			CacheCoalesced:  st.Cache.Coalesced,
+			CacheEvictions:  st.Cache.Evictions,
+			CacheLen:        st.Cache.Len,
+			CacheCap:        st.Cache.Cap,
+			InFlight:        st.Cache.InFlight,
+			PlanRequests:    st.PlanRequests,
+			DriftRequests:   st.DriftRequests,
+			Rejected:        st.Rejected,
+			Solves:          st.Solves,
+			Registered:      st.Registered,
+			QueueDepth:      st.QueueDepth,
+			Workers:         st.Workers,
+			Persistent:      st.Persistent,
+			StoreWrites:     st.Store.Writes,
+			StoreLoaded:     st.Store.Loaded,
+			StoreSkipped:    st.Store.Skipped,
+			Subscribers:     st.Subscribers,
+			EventsPublished: st.EventsPublished,
+			EventsDropped:   st.EventsDropped,
 		})
 	})
 

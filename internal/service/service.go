@@ -33,6 +33,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/plancache"
 	"repro/internal/rat"
 	"repro/internal/solve"
+	"repro/internal/store"
 	"repro/internal/workflow"
 )
 
@@ -69,6 +71,12 @@ type Config struct {
 	// instances are forgotten when the bound is hit; a drift against a
 	// forgotten hash fails and the client re-submits the instance.
 	RegistrySize int
+	// Store, when non-nil, persists every successful solve write-through
+	// and is warm-loaded into the plan cache (and the drift registry) at
+	// New, so a restarted server answers previously solved requests as
+	// warm hits bit-identical to pre-restart. Persistence failures never
+	// fail a request — they only show in the store's counters.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -104,8 +112,10 @@ type Request struct {
 
 // solveOptions builds the solver options of a request. Workers is pinned
 // to 1: the request already runs on a pool worker (one pool, never
-// nested).
-func (r Request) solveOptions() solve.Options {
+// nested). ctx bounds the search (nil: unbounded) — it can only abort the
+// solve with an error, never change its result, so it is not part of the
+// cache key.
+func (r Request) solveOptions(ctx context.Context) solve.Options {
 	return solve.Options{
 		Method:    r.Method,
 		Family:    r.Family,
@@ -113,6 +123,7 @@ func (r Request) solveOptions() solve.Options {
 		Seed:      r.Seed,
 		Restarts:  r.Restarts,
 		Workers:   1,
+		Ctx:       ctx,
 	}
 }
 
@@ -172,6 +183,16 @@ type Stats struct {
 	Registered int
 	QueueDepth int
 	Workers    int
+	// Persistent reports whether a plan store is attached; Store its
+	// counters (zero value otherwise).
+	Persistent bool
+	Store      store.Stats
+	// Subscribers counts the currently open drift subscriptions;
+	// EventsPublished the re-plan events delivered to them;
+	// EventsDropped the events lost to full subscriber buffers.
+	Subscribers     int
+	EventsPublished int64
+	EventsDropped   int64
 }
 
 // cacheEntry is the cached value of one key.
@@ -193,12 +214,22 @@ type Server struct {
 
 	mu     sync.RWMutex // guards closed
 	closed bool
+	// closing is the shutdown broadcast that ends open subscription
+	// streams: closed by EndSubscriptions (idempotent) and by Close.
+	// http.Server.Shutdown waits for active handlers, so without it a
+	// connected subscriber would stall every graceful shutdown to its
+	// deadline — cmd/filterd wires EndSubscriptions into
+	// http.Server.RegisterOnShutdown for exactly that reason.
+	closing     chan struct{}
+	closingOnce sync.Once
 	// registry holds the canonical instances seen, keyed by hash — the
 	// targets of drift updates. Bounded LRU (Config.RegistrySize) so a
 	// stream of distinct instances cannot grow the daemon without limit.
 	registry *plancache.Cache[*canon.Instance]
 
 	wg sync.WaitGroup
+
+	hub hub // drift subscriptions (subscribe.go)
 
 	planRequests  atomic.Int64
 	driftRequests atomic.Int64
@@ -216,6 +247,18 @@ func New(cfg Config) *Server {
 		cache:    plancache.New[cacheEntry](cfg.CacheSize),
 		queue:    make(chan task, cfg.QueueSize),
 		registry: plancache.New[*canon.Instance](cfg.RegistrySize),
+		closing:  make(chan struct{}),
+	}
+	// Warm load: replay the persisted plans into the LRU and the drift
+	// registry before the first request, so a restarted replica answers
+	// previously solved requests as warm hits bit-identical to
+	// pre-restart. Entries the store rejects (corrupt, stale format) are
+	// skipped and will simply re-solve on demand.
+	if cfg.Store != nil {
+		_ = cfg.Store.Load(func(e store.Entry) {
+			s.cache.Seed(e.Key, cacheEntry{sol: e.Solution, inst: e.Instance})
+			s.register(e.Instance)
+		})
 	}
 	s.wg.Add(1)
 	go func() {
@@ -243,18 +286,45 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
+	s.EndSubscriptions()
 	s.wg.Wait()
 }
 
-// submit runs fn on a pool worker and waits for it.
-func (s *Server) submit(fn func()) error {
+// EndSubscriptions terminates every open subscription stream (idempotent;
+// Close calls it too). Graceful HTTP shutdown should call it when the
+// drain starts, so connected subscribers do not hold Shutdown to its
+// deadline.
+func (s *Server) EndSubscriptions() {
+	s.closingOnce.Do(func() { close(s.closing) })
+}
+
+// Closing returns a channel closed when the server shuts down (or
+// EndSubscriptions runs) — the termination signal of long-lived
+// subscription streams.
+func (s *Server) Closing() <-chan struct{} { return s.closing }
+
+// submit runs fn on a pool worker and waits for it. A request whose
+// context dies while still queued gives its queue slot back without ever
+// reaching a worker; once a worker picked fn up, submit waits for it to
+// finish (fn's own solve watches the same context, so a canceled request
+// returns promptly with the context error instead of burning the pool).
+func (s *Server) submit(ctx context.Context, fn func()) error {
 	t := task{fn: fn, done: make(chan struct{})}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
-	s.queue <- t
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
+	select {
+	case s.queue <- t:
+	case <-cancelled:
+		s.mu.RUnlock()
+		return fmt.Errorf("service: request abandoned while queued: %w", ctx.Err())
+	}
 	s.mu.RUnlock()
 	<-t.done
 	return nil
@@ -298,6 +368,12 @@ func (s *Server) validate(req Request) error {
 	return nil
 }
 
+// ctxLive reports whether a request context is still good (nil counts as
+// unbounded).
+func ctxLive(ctx context.Context) bool {
+	return ctx == nil || ctx.Err() == nil
+}
+
 // cacheKey is the full identity of a cached plan: canonical instance plus
 // every solve parameter that can change the returned Solution.
 func cacheKey(hash string, req Request) string {
@@ -322,6 +398,14 @@ func (s *Server) Instance(hash string) (*canon.Instance, bool) {
 // identical requests coalesce onto one solve). The instance is registered
 // as a drift target.
 func (s *Server) Plan(req Request) (Response, error) {
+	return s.PlanContext(context.Background(), req)
+}
+
+// PlanContext is Plan bounded by a request context: an expired or canceled
+// ctx aborts the solve (the searches poll it periodically), the error is
+// never cached, and a later request for the same key re-solves cleanly.
+// Cache hits are served regardless of ctx — they cost no solver time.
+func (s *Server) PlanContext(ctx context.Context, req Request) (Response, error) {
 	s.planRequests.Add(1)
 	if err := s.validate(req); err != nil {
 		s.rejected.Add(1)
@@ -333,21 +417,22 @@ func (s *Server) Plan(req Request) (Response, error) {
 		return Response{}, err
 	}
 	s.register(inst)
-	return s.planCanonical(inst, req, nil)
+	return s.planCanonical(ctx, inst, req, nil)
 }
 
 // planCanonical serves an already-canonicalized instance. A non-nil
 // incumbent warm-starts the branch-and-bound search; it never changes the
 // solution (solve.Options.Incumbent contract), so it is deliberately not
 // part of the cache key.
-func (s *Server) planCanonical(inst *canon.Instance, req Request, incumbent *rat.Rat) (Response, error) {
+func (s *Server) planCanonical(ctx context.Context, inst *canon.Instance, req Request, incumbent *rat.Rat) (Response, error) {
 	key := cacheKey(inst.Hash(), req)
+retry:
 	val, outcome, err := s.cache.Do(key, func() (cacheEntry, error) {
 		var sol solve.Solution
 		var solveErr error
-		submitErr := s.submit(func() {
+		submitErr := s.submit(ctx, func() {
 			s.solves.Add(1)
-			opts := req.solveOptions()
+			opts := req.solveOptions(ctx)
 			opts.Incumbent = incumbent
 			if req.Objective == solve.PeriodObjective {
 				sol, solveErr = solve.MinPeriod(inst.App(), req.Model, opts)
@@ -361,9 +446,24 @@ func (s *Server) planCanonical(inst *canon.Instance, req Request, incumbent *rat
 		if solveErr != nil {
 			return cacheEntry{}, solveErr
 		}
+		// Write-through persistence: the entry is on disk before the
+		// response leaves, so a restart after this point answers the key
+		// warm. A failed persist only shows in the store counters.
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Put(store.Entry{Key: key, Instance: inst, Solution: sol})
+		}
 		return cacheEntry{sol: sol, inst: inst}, nil
 	})
 	if err != nil {
+		// A coalesced waiter inherits the LEADING request's error — and a
+		// context error there says the leader's client died, not ours.
+		// The failed entry is already gone from the cache, so a live
+		// request simply retries: it hits, coalesces onto another
+		// in-flight solve, or becomes the leader under its own context.
+		// (A dead own context never loops: ctxLive is false.)
+		if ctxLive(ctx) && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			goto retry
+		}
 		return Response{}, err
 	}
 	return Response{
@@ -385,13 +485,19 @@ type BatchResult struct {
 // parallelism) and returns the results in request order. Identical
 // requests within one batch coalesce to a single solve.
 func (s *Server) PlanBatch(reqs []Request) []BatchResult {
+	return s.PlanBatchContext(context.Background(), reqs)
+}
+
+// PlanBatchContext is PlanBatch under one shared request context: a dead
+// client abandons every queued item and aborts the in-flight solves.
+func (s *Server) PlanBatchContext(ctx context.Context, reqs []Request) []BatchResult {
 	out := make([]BatchResult, len(reqs))
 	var wg sync.WaitGroup
 	for i, req := range reqs {
 		wg.Add(1)
 		go func(i int, req Request) {
 			defer wg.Done()
-			out[i].Response, out[i].Err = s.Plan(req)
+			out[i].Response, out[i].Err = s.PlanContext(ctx, req)
 		}(i, req)
 	}
 	wg.Wait()
@@ -463,6 +569,14 @@ func familyMember(eg *plan.ExecGraph, req Request, app *workflow.App) bool {
 // expansion. The report carries both objectives; the drifted instance is
 // registered under its new hash.
 func (s *Server) Drift(hash string, updates []Update, req Request) (DriftReport, error) {
+	return s.DriftContext(context.Background(), hash, updates, req)
+}
+
+// DriftContext is Drift bounded by a request context (see PlanContext).
+// A successful re-plan whose objective differs from the old one is
+// published to every subscriber of hash (see Subscribe) — exactly one
+// event per PATCH per subscriber.
+func (s *Server) DriftContext(ctx context.Context, hash string, updates []Update, req Request) (DriftReport, error) {
 	s.driftRequests.Add(1)
 	oldInst, ok := s.Instance(hash)
 	if !ok {
@@ -488,7 +602,7 @@ func (s *Server) Drift(hash string, updates []Update, req Request) (DriftReport,
 
 	// The old objective: served from cache when present, solved otherwise
 	// (the drift report always compares old vs new).
-	oldResp, err := s.planCanonical(oldInst, req, nil)
+	oldResp, err := s.planCanonical(ctx, oldInst, req, nil)
 	if err != nil {
 		return DriftReport{}, err
 	}
@@ -506,7 +620,7 @@ func (s *Server) Drift(hash string, updates []Update, req Request) (DriftReport,
 	if req.Method == solve.BranchBound {
 		if eg, err := remapGraph(oldInst.App(), newInst.App(), oldResp.Solution.Graph); err == nil {
 			if familyMember(eg, req, newInst.App()) {
-				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions()); err == nil {
+				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions(ctx)); err == nil {
 					v := re.Value
 					incumbent = &v
 					report.WarmStart = true
@@ -518,27 +632,45 @@ func (s *Server) Drift(hash string, updates []Update, req Request) (DriftReport,
 
 	newReq := req
 	newReq.App = newInst.App()
-	newResp, err := s.planCanonical(newInst, newReq, incumbent)
+	newResp, err := s.planCanonical(ctx, newInst, newReq, incumbent)
 	if err != nil {
 		return DriftReport{}, err
 	}
 	s.register(newInst)
 	report.NewValue = newResp.Solution.Value
 	report.Response = newResp
+	// The streaming half of the re-planning story: a re-plan that moved
+	// the objective notifies every subscriber of the PATCHed hash.
+	if !report.NewValue.Equal(report.OldValue) {
+		s.hub.publish(hash, Event{
+			Hash:     hash,
+			NewHash:  report.NewHash,
+			OldValue: report.OldValue,
+			NewValue: report.NewValue,
+		})
+	}
 	return report, nil
 }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
 	registered := s.registry.Stats().Len
-	return Stats{
-		Cache:         s.cache.Stats(),
-		PlanRequests:  s.planRequests.Load(),
-		DriftRequests: s.driftRequests.Load(),
-		Rejected:      s.rejected.Load(),
-		Solves:        s.solves.Load(),
-		Registered:    registered,
-		QueueDepth:    len(s.queue),
-		Workers:       s.cfg.Workers,
+	st := Stats{
+		Cache:           s.cache.Stats(),
+		PlanRequests:    s.planRequests.Load(),
+		DriftRequests:   s.driftRequests.Load(),
+		Rejected:        s.rejected.Load(),
+		Solves:          s.solves.Load(),
+		Registered:      registered,
+		QueueDepth:      len(s.queue),
+		Workers:         s.cfg.Workers,
+		Subscribers:     s.hub.subscribers(),
+		EventsPublished: s.hub.published.Load(),
+		EventsDropped:   s.hub.dropped.Load(),
 	}
+	if s.cfg.Store != nil {
+		st.Persistent = true
+		st.Store = s.cfg.Store.Stats()
+	}
+	return st
 }

@@ -1,0 +1,100 @@
+package service
+
+// Drift subscriptions: the streaming half of the re-planning story. A
+// client that planned an instance can subscribe to its canonical hash and
+// is pushed one event whenever a PATCH re-plan against that hash changes
+// the objective — instead of polling /v1/plan for a value that almost
+// never moves. The HTTP surface (http.go) exposes this as server-sent
+// events on GET /v1/subscribe/{hash}.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rat"
+)
+
+// Event is one re-planning notification: a PATCH against Hash produced a
+// plan under NewHash whose objective moved from OldValue to NewValue.
+type Event struct {
+	Hash     string
+	NewHash  string
+	OldValue rat.Rat
+	NewValue rat.Rat
+}
+
+// subscriberBuffer bounds each subscription's undelivered events. Drift
+// re-plans are rare next to plan requests, so the buffer only fills when a
+// consumer stalls; events beyond it are dropped (counted) rather than
+// blocking the drift path on a dead client.
+const subscriberBuffer = 16
+
+// hub fans re-plan events out to the subscribers of each hash. The zero
+// value is ready to use.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan Event]struct{}
+
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// subscribe registers a listener for hash and returns its channel plus the
+// cancel function (idempotent; always call it — it releases the slot).
+func (h *hub) subscribe(hash string) (<-chan Event, func()) {
+	ch := make(chan Event, subscriberBuffer)
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[string]map[chan Event]struct{})
+	}
+	if h.subs[hash] == nil {
+		h.subs[hash] = make(map[chan Event]struct{})
+	}
+	h.subs[hash][ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if set, ok := h.subs[hash]; ok {
+			delete(set, ch)
+			if len(set) == 0 {
+				delete(h.subs, hash)
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish delivers ev to every current subscriber of hash: exactly one
+// send per subscriber, non-blocking (a full buffer counts a drop instead
+// of stalling the drift request).
+func (h *hub) publish(hash string, ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs[hash] {
+		select {
+		case ch <- ev:
+			h.published.Add(1)
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// subscribers counts the currently open subscriptions across all hashes.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, set := range h.subs {
+		n += len(set)
+	}
+	return n
+}
+
+// Subscribe registers for re-plan events against a canonical hash: every
+// PATCH re-plan of that hash whose objective changes delivers exactly one
+// Event. The returned cancel releases the subscription; events arriving
+// with no reader beyond the buffer are dropped, not blocking.
+func (s *Server) Subscribe(hash string) (<-chan Event, func()) {
+	return s.hub.subscribe(hash)
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+// driftByOne returns a registered instance's hash plus an update that
+// provably changes the OVERLAP period (the first service's cost jumps to
+// 99, far above the instance's optimum).
+func planAndTarget(t *testing.T, s *Server) (string, string, Response) {
+	t.Helper()
+	app := new(workflow.App)
+	if err := app.UnmarshalJSON(readTestdata(t, "mixed6.json")); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{App: app, Model: plan.Overlap, Objective: solve.PeriodObjective}
+	resp, err := s.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Hash, resp.Instance.App().Name(0), resp
+}
+
+// TestDriftDeliversExactlyOneEventPerSubscriber is acceptance criterion
+// (d): a PATCH that changes the objective delivers exactly one event to
+// each subscriber of that hash; a PATCH that does not change it delivers
+// none. Publication happens before Drift returns, so the per-channel
+// counts are deterministic.
+func TestDriftDeliversExactlyOneEventPerSubscriber(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	hash, target, planned := planAndTarget(t, s)
+
+	chA, cancelA := s.Subscribe(hash)
+	chB, cancelB := s.Subscribe(hash)
+	defer cancelA()
+	defer cancelB()
+	if st := s.Stats(); st.Subscribers != 2 {
+		t.Fatalf("subscribers = %d", st.Subscribers)
+	}
+
+	cost := rat.I(99)
+	req := Request{Model: plan.Overlap, Objective: solve.PeriodObjective}
+	report, err := s.Drift(hash, []Update{{Service: target, Cost: &cost}}, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.NewValue.Equal(report.OldValue) {
+		t.Fatalf("drift to cost 99 did not change the objective (%s)", report.OldValue)
+	}
+
+	for name, ch := range map[string]<-chan Event{"A": chA, "B": chB} {
+		select {
+		case ev := <-ch:
+			if ev.Hash != hash || ev.NewHash != report.NewHash ||
+				!ev.OldValue.Equal(report.OldValue) || !ev.NewValue.Equal(report.NewValue) {
+				t.Errorf("subscriber %s: event %+v inconsistent with report", name, ev)
+			}
+		default:
+			t.Fatalf("subscriber %s received no event", name)
+		}
+		select {
+		case ev := <-ch:
+			t.Errorf("subscriber %s received a second event: %+v", name, ev)
+		default:
+		}
+	}
+	if st := s.Stats(); st.EventsPublished != 2 || st.EventsDropped != 0 {
+		t.Errorf("event counters: %+v", st)
+	}
+
+	// A no-op drift (cost re-set to its current value) re-plans to the
+	// same objective: no event.
+	same := planned.Instance.App().Service(0).Cost
+	if _, err := s.Drift(hash, []Update{{Service: target, Cost: &same}}, req); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]<-chan Event{"A": chA, "B": chB} {
+		select {
+		case ev := <-ch:
+			t.Errorf("subscriber %s got an event for an unchanged objective: %+v", name, ev)
+		default:
+		}
+	}
+
+	// Canceled subscriptions stop counting and stop receiving.
+	cancelA()
+	if st := s.Stats(); st.Subscribers != 1 {
+		t.Errorf("subscribers after cancel = %d", st.Subscribers)
+	}
+}
+
+// TestHTTPSubscribeStreamsReplanEvent drives the SSE surface end to end:
+// subscribe over HTTP, PATCH the hash, and read the replan event with the
+// full old/new payload.
+func TestHTTPSubscribeStreamsReplanEvent(t *testing.T) {
+	s, ts := newTestAPI(t)
+	hash, target, _ := planAndTarget(t, s)
+
+	resp, err := http.Get(ts.URL + "/v1/subscribe/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	// The stream opens with a comment line announcing the subscription.
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": subscribed") {
+		t.Fatalf("stream preamble %q, %v", line, err)
+	}
+
+	var drift driftResponseJSON
+	patchResp := doJSON(t, "PATCH", ts.URL+"/v1/instance/"+hash,
+		fmt.Sprintf(`{"model": "overlap", "objective": "period", "updates": [{"service": %q, "cost": "99"}]}`, target), &drift)
+	if patchResp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status %d", patchResp.StatusCode)
+	}
+
+	// Read until the event's data line (skipping blank keep-alive lines).
+	var data string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading event: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+			break
+		}
+	}
+	var ev eventJSON
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("event payload %q: %v", data, err)
+	}
+	if ev.Hash != hash || ev.NewHash != drift.NewHash ||
+		!ev.OldValue.Equal(drift.OldValue) || !ev.NewValue.Equal(drift.NewValue) {
+		t.Errorf("event %+v inconsistent with the drift response %+v", ev, drift)
+	}
+}
+
+// TestHTTPSubscribeUnknownHash404s: subscriptions require a registered
+// instance.
+func TestHTTPSubscribeUnknownHash404s(t *testing.T) {
+	_, ts := newTestAPI(t)
+	resp, err := http.Get(ts.URL + "/v1/subscribe/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

@@ -152,12 +152,13 @@ func (in *incumbent) prunes(c *incumbentCache, bound rat.Rat) bool {
 	return c.ok && bound.Greater(c.val)
 }
 
-// bnbShard is one shard's outcome plus its local search counters and its
-// cached view of the shared incumbent.
+// bnbShard is one shard's outcome plus its local search counters, its
+// cached view of the shared incumbent and its cancellation probe.
 type bnbShard struct {
 	shardResult
 	stats Stats
 	cache incumbentCache
+	cc    cancelCheck
 }
 
 // prunes applies both pruning rules to one subtree bound. Against the
@@ -304,8 +305,12 @@ func branchBoundChain(app *workflow.App, m plan.Model, obj Objective, opts Optio
 			return inc.prunes(&cache, bound)
 		}
 
+		cc := cancelCheck{ctx: opts.Ctx}
 		var rec func(k int, prefixObj, inProd rat.Rat)
 		rec = func(k int, prefixObj, inProd rat.Rat) {
+			if cc.stop() {
+				return
+			}
 			if k == n {
 				st.Evaluated++
 				if !best.found || prefixObj.Less(best.val) {
@@ -357,6 +362,9 @@ func branchBoundChain(app *workflow.App, m plan.Model, obj Objective, opts Optio
 	if opts.Stats != nil {
 		*opts.Stats = total
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if !winner.found {
 		return Solution{}, fmt.Errorf("solve: chain branch-and-bound found no plan")
 	}
@@ -396,6 +404,7 @@ func branchBoundForest(app *workflow.App, m plan.Model, obj Objective, opts Opti
 		}
 		copy(parent, prefixes[i])
 		var sh bnbShard
+		sh.cc = cancelCheck{ctx: opts.Ctx}
 		sh.stats.Expanded++
 		if sh.prunes(inc, forestPartialBound(app, m, obj, parent, len(prefixes[i]))) {
 			sh.stats.Pruned++
@@ -405,6 +414,9 @@ func branchBoundForest(app *workflow.App, m plan.Model, obj Objective, opts Opti
 		return sh
 	})
 	sol, firstErr := reduceBnBShards(shards, opts)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: forest branch-and-bound found no plan: %v", firstErr)
 	}
@@ -417,6 +429,9 @@ func branchBoundForest(app *workflow.App, m plan.Model, obj Objective, opts Opti
 // every extension before descending and orchestrating only surviving
 // complete forests.
 func bnbForestRec(app *workflow.App, m plan.Model, obj Objective, opts Options, inc *incumbent, parent []int, v int, sh *bnbShard) {
+	if sh.cc.stop() {
+		return
+	}
 	n := len(parent)
 	if v == n {
 		sh.stats.Evaluated++
@@ -494,6 +509,7 @@ func branchBoundDAG(app *workflow.App, m plan.Model, obj Objective, opts Options
 	prefixes := dagPrefixes(n, depth)
 	shards := par.Map(opts.Workers, len(prefixes), func(i int) bnbShard {
 		var sh bnbShard
+		sh.cc = cancelCheck{ctx: opts.Ctx}
 		g := dag.New(n)
 		for _, e := range prefixes[i] {
 			if precClosure.HasEdge(e[1], e[0]) {
@@ -515,6 +531,9 @@ func branchBoundDAG(app *workflow.App, m plan.Model, obj Objective, opts Options
 		return sh
 	})
 	sol, firstErr := reduceBnBShards(shards, opts)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: DAG branch-and-bound found no plan: %v", firstErr)
 	}
@@ -525,6 +544,9 @@ func branchBoundDAG(app *workflow.App, m plan.Model, obj Objective, opts Options
 // bnbDAGRec decides pair i in the serial enumeration order (no edge, then
 // u→v, then v→u), cutting infeasible orientations and bounded subtrees.
 func bnbDAGRec(app *workflow.App, m plan.Model, obj Objective, opts Options, inc *incumbent, g *dag.Graph, precClosure *dag.Graph, pairs [][2]int, i int, sh *bnbShard) {
+	if sh.cc.stop() {
+		return
+	}
 	if i == len(pairs) {
 		sh.stats.Evaluated++
 		eg, err := plan.FromGraph(app, g)

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -48,6 +49,11 @@ func Reevaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, opts Options) (
 
 func minimize(app *workflow.App, m plan.Model, obj Objective, opts Options) (Solution, error) {
 	opts = opts.withDefaults()
+	// An already-expired request costs nothing: fail before any search
+	// state is built (the searches poll the context periodically after).
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	method := opts.Method
 	if method == Auto {
 		method = autoMethod(app, obj, opts)
@@ -171,7 +177,11 @@ func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (S
 	winner, _ := par.MapBest(opts.Workers, n, func(i int) par.Candidate[cand] {
 		var best cand
 		found := false
+		cc := cancelCheck{ctx: opts.Ctx}
 		forEachChainShard(n, i, func(order []int) bool {
+			if cc.stop() {
+				return false
+			}
 			var v rat.Rat
 			if obj == PeriodObjective {
 				v = ChainPeriodValue(app, order, m)
@@ -187,6 +197,9 @@ func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (S
 		})
 		return par.Candidate[cand]{Value: best, OK: found}
 	}, func(a, b cand) bool { return a.val.Less(b.val) })
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	eg, err := plan.ChainFromOrder(app, winner.order)
 	if err != nil {
 		return Solution{}, err
@@ -209,7 +222,7 @@ func exactForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (
 	if n > maxN(opts, 6) {
 		return Solution{}, fmt.Errorf("solve: %d services too large for exact forest enumeration (max %d)", n, maxN(opts, 6))
 	}
-	sol, firstErr := reduceShards(forestShards(n, opts.Workers, func(parent []int, r *shardResult) {
+	sol, firstErr := reduceShards(forestShards(n, opts.Workers, opts.Ctx, func(parent []int, r *shardResult) {
 		eg, err := plan.FromGraph(app, forestGraph(parent))
 		if err != nil {
 			return
@@ -225,6 +238,9 @@ func exactForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (
 			r.sol = Solution{Graph: eg, Sched: sched, Value: sched.Value}
 		}
 	}))
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: forest enumeration found no plan: %v", firstErr)
 	}
@@ -244,8 +260,9 @@ type shardResult struct {
 // forests are partitioned by the parent assignment of the first two nodes,
 // try sees every complete parent vector of its shard together with the
 // shard's accumulator, and the per-shard results come back in serial
-// prefix order (ready for reduceShards).
-func forestShards(n, workers int, try func(parent []int, r *shardResult)) []shardResult {
+// prefix order (ready for reduceShards). A done ctx stops every shard at
+// its next probe (the caller detects the abort via ctxErr).
+func forestShards(n, workers int, ctx context.Context, try func(parent []int, r *shardResult)) []shardResult {
 	prefixes := forestPrefixes(n, 2)
 	return par.Map(workers, len(prefixes), func(i int) shardResult {
 		parent := make([]int, n)
@@ -254,7 +271,11 @@ func forestShards(n, workers int, try func(parent []int, r *shardResult)) []shar
 		}
 		copy(parent, prefixes[i])
 		var r shardResult
+		cc := cancelCheck{ctx: ctx}
 		forEachForestFrom(parent, len(prefixes[i]), func(parent []int) bool {
+			if cc.stop() {
+				return false
+			}
 			try(parent, &r)
 			return true
 		})
@@ -302,7 +323,11 @@ func exactDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 			g.AddEdge(e[0], e[1])
 		}
 		var r shardResult
+		cc := cancelCheck{ctx: opts.Ctx}
 		forEachDAGFrom(g, pairs, depth, func(g *dag.Graph) bool {
+			if cc.stop() {
+				return false
+			}
 			eg, err := plan.FromGraph(app, g)
 			if err != nil {
 				return true // violates precedence constraints
@@ -322,6 +347,9 @@ func exactDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 		return r
 	})
 	sol, firstErr := reduceShards(shards)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if sol.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: DAG enumeration found no plan: %v", firstErr)
 	}
@@ -416,6 +444,9 @@ func hillClimbForest(app *workflow.App, m plan.Model, obj Objective, opts Option
 		return climbForestFrom(app, m, obj, opts, seeds[i], climbBudget(n, len(seeds)), climbRand(opts.Seed, i))
 	})
 	best, firstErr := reduceShards(shards)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if best.Graph == nil {
 		if firstErr != nil {
 			return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan: %v", firstErr)
@@ -477,9 +508,10 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 	}
 	r.sol = curSol
 	eval := newForestEval(app, cur)
-	for improved := true; improved && budget > 0; {
+	cc := cancelCheck{ctx: opts.Ctx}
+	for improved := true; improved && budget > 0 && !cc.stop(); {
 		improved = false
-		for v := 0; v < n && budget > 0; v++ {
+		for v := 0; v < n && budget > 0 && !cc.stop(); v++ {
 			old := cur[v]
 			for _, p := range candidateParents(v) {
 				if p == old {
@@ -544,6 +576,9 @@ func hillClimbDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) 
 		return climbDAGFrom(app, m, obj, opts, starts[i], climbBudget(app.N(), len(starts)))
 	})
 	best, firstErr := reduceShards(shards)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Solution{}, err
+	}
 	if best.Graph == nil {
 		return Solution{}, fmt.Errorf("solve: hill climbing found no feasible plan: %v", firstErr)
 	}
@@ -576,9 +611,10 @@ func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 		return r
 	}
 	r.sol = curSol
-	for improved := true; improved && budget > 0; {
+	cc := cancelCheck{ctx: opts.Ctx}
+	for improved := true; improved && budget > 0 && !cc.stop(); {
 		improved = false
-		for u := 0; u < n && budget > 0; u++ {
+		for u := 0; u < n && budget > 0 && !cc.stop(); u++ {
 			for v := 0; v < n; v++ {
 				if u == v {
 					continue
@@ -660,7 +696,7 @@ func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Optio
 		// Same sharding as the exact forest solver: each worker scans the
 		// completions of a two-node prefix for the best bound-respecting
 		// latency; the shard winners reduce in serial prefix order.
-		best, _ = reduceShards(forestShards(n, opts.Workers, func(parent []int, r *shardResult) {
+		best, _ = reduceShards(forestShards(n, opts.Workers, opts.Ctx, func(parent []int, r *shardResult) {
 			if eg, err := plan.FromGraph(app, forestGraph(parent)); err == nil {
 				tryInto(&r.sol, eg)
 			}

@@ -36,6 +36,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -138,6 +139,56 @@ type Options struct {
 	// 0 means runtime.NumCPU(), 1 forces serial execution. Any value
 	// yields the identical Solution (see the package documentation).
 	Workers int
+	// Ctx, when non-nil, bounds the search: the exact enumerations, the
+	// branch-and-bound expansions and the hill climbs poll it periodically
+	// and abort with the context's error once it is done — the
+	// per-request deadline/cancellation hook of the planning service (a
+	// dead client stops burning the pool). A canceled search never
+	// returns a partial Solution, only the error, so cancellation cannot
+	// weaken the determinism invariant.
+	Ctx context.Context
+}
+
+// ctxErr converts a done context into the search abort error (nil context
+// or live context: nil). The context error stays in the chain for
+// errors.Is(err, context.Canceled / context.DeadlineExceeded).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("solve: search aborted: %w", err)
+	}
+	return nil
+}
+
+// cancelCheck is the periodic cancellation probe of the search hot loops.
+// Each shard owns one (no sharing across goroutines): stop polls the
+// context only on the first and then every 256th call, so enumeration
+// loops pay an increment-and-mask per candidate, and latches once done so
+// a canceled recursion unwinds immediately instead of drifting to the next
+// probe boundary.
+type cancelCheck struct {
+	ctx  context.Context
+	tick uint
+	done bool
+}
+
+func (c *cancelCheck) stop() bool {
+	if c.done {
+		return true
+	}
+	if c.ctx == nil {
+		return false
+	}
+	c.tick++
+	if c.tick&0xff != 1 {
+		return false
+	}
+	if c.ctx.Err() != nil {
+		c.done = true
+	}
+	return c.done
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,331 @@
+// Package store is the persistence layer of the planning service: a
+// write-through, disk-backed plan store keyed by the plan cache's full key
+// (canonical instance hash plus solve parameters, internal/service).
+//
+// The paper's plans are computed once and reused across millions of data
+// sets, so losing a populated cache to a restart re-pays the NP-hard
+// search for every live instance. The store closes that gap: every
+// successful solve is persisted write-through as one self-contained file,
+// and a restarted replica warm-loads the directory back into its LRU, so
+// it answers warm-hit requests bit-identical to pre-restart — the
+// determinism invariant extended across process lifetimes.
+//
+// # On-disk codec
+//
+// One entry per file, named by the SHA-256 of the cache key. The codec is
+// versioned (entryVersion): an entry records the canonical application
+// (the workflow JSON instance format), the execution-graph edges over
+// canonical indices, the operation list (the oplist JSON codec) and the
+// objective metadata. Loading re-canonicalizes the stored application and
+// rejects any entry whose recomputed hash disagrees with its key — a
+// corrupt or stale-format file is skipped, never served.
+//
+// # Crash safety
+//
+// Writes go to a temporary file in the same directory, are fsynced, and
+// renamed over the final name — a crash mid-write leaves either the old
+// entry or a .tmp file the next load ignores, never a torn entry.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/oplist"
+	"repro/internal/orchestrate"
+	"repro/internal/plan"
+	"repro/internal/rat"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+// entryVersion tags the on-disk format; loaders skip files with any other
+// version, so a future format change cannot alias old entries.
+const entryVersion = "filterd-plan-store/v1"
+
+// suffix is the entry file extension; everything else in the directory is
+// ignored on load.
+const suffix = ".plan.json"
+
+// Entry is one persisted plan: the full cache key, the canonical instance
+// it was solved on, and the solution.
+type Entry struct {
+	// Key is the plan cache key: canonical hash plus every solve
+	// parameter that can change the solution.
+	Key string
+	// Instance is the canonical instance (its Hash is the key's prefix).
+	Instance *canon.Instance
+	// Solution is the solved plan, reconstructed bit-identical on load.
+	Solution solve.Solution
+}
+
+// Stats are the running counters of a store.
+type Stats struct {
+	// Writes counts persisted entries this process wrote; WriteErrors the
+	// failed persists (the serving path continues — persistence is an
+	// availability optimization, not a correctness gate).
+	Writes      int64
+	WriteErrors int64
+	// Loaded counts entries warm-loaded by the last Load call; Skipped
+	// the files Load rejected (wrong version, hash mismatch, decode
+	// error).
+	Loaded  int64
+	Skipped int64
+}
+
+// Store is a directory of persisted plans. Create with Open; methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryJSON is the versioned serialization of one Entry.
+type entryJSON struct {
+	Version string `json:"version"`
+	Key     string `json:"key"`
+	Hash    string `json:"hash"`
+	// Instance is the canonical application in the workflow JSON instance
+	// format (exact rationals, precedence as the transitive reduction).
+	Instance json.RawMessage `json:"instance"`
+	// Edges are the execution-graph edges over canonical service indices,
+	// in the deterministic dag.Graph.Edges order.
+	Edges [][2]int `json:"edges"`
+	Value rat.Rat  `json:"value"`
+	Exact bool     `json:"exact"`
+	// The orchestration result: its value/bound/exactness/bottleneck plus
+	// the operation list in the oplist JSON codec.
+	SchedValue      rat.Rat         `json:"sched_value"`
+	SchedLowerBound rat.Rat         `json:"sched_lower_bound"`
+	SchedExact      bool            `json:"sched_exact"`
+	SchedBottleneck []string        `json:"sched_bottleneck,omitempty"`
+	Schedule        json.RawMessage `json:"schedule"`
+}
+
+// fileName maps a cache key to its entry file: the hex SHA-256 of the key,
+// so arbitrary key vocabularies stay filename-safe and collision-free.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + suffix
+}
+
+// Put persists one solved plan write-through (atomic replace of any
+// previous entry for the key).
+func (s *Store) Put(e Entry) error {
+	err := s.put(e)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.WriteErrors++
+	} else {
+		s.stats.Writes++
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Store) put(e Entry) error {
+	if e.Instance == nil || e.Solution.Graph == nil || e.Solution.Sched.List == nil {
+		return fmt.Errorf("store: incomplete entry for key %q", e.Key)
+	}
+	instData, err := json.Marshal(e.Instance.App())
+	if err != nil {
+		return fmt.Errorf("store: encoding instance: %w", err)
+	}
+	schedData, err := json.Marshal(e.Solution.Sched.List)
+	if err != nil {
+		return fmt.Errorf("store: encoding schedule: %w", err)
+	}
+	doc := entryJSON{
+		Version:         entryVersion,
+		Key:             e.Key,
+		Hash:            e.Instance.Hash(),
+		Instance:        instData,
+		Edges:           e.Solution.Graph.Graph().Edges(),
+		Value:           e.Solution.Value,
+		Exact:           e.Solution.Exact,
+		SchedValue:      e.Solution.Sched.Value,
+		SchedLowerBound: e.Solution.Sched.LowerBound,
+		SchedExact:      e.Solution.Sched.Exact,
+		SchedBottleneck: e.Solution.Sched.Bottleneck,
+		Schedule:        schedData,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.writeAtomic(fileName(e.Key), append(data, '\n'))
+}
+
+// writeAtomic writes data to name via a same-directory temp file, fsync
+// and rename, so a crash never leaves a torn entry under the final name.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Load decodes every entry in the directory in sorted file order (a
+// deterministic warm-load order) and hands it to fn. Files that fail to
+// decode, carry another codec version, or whose recomputed canonical hash
+// disagrees with the stored key are counted as skipped and never served.
+func (s *Store) Load(fn func(Entry)) error {
+	names, err := s.entryNames()
+	if err != nil {
+		return err
+	}
+	var loaded, skipped int64
+	for _, name := range names {
+		e, err := s.loadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			skipped++
+			continue
+		}
+		loaded++
+		fn(e)
+	}
+	s.mu.Lock()
+	s.stats.Loaded = loaded
+	s.stats.Skipped = skipped
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) entryNames() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), suffix) {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadFile reconstructs one entry bit-identical to what Put serialized:
+// the application is re-canonicalized (verifying the content hash), the
+// execution graph rebuilt from its edge list, and the operation list
+// restored through the oplist codec.
+func (s *Store) loadFile(path string) (Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	var doc entryJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Entry{}, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if doc.Version != entryVersion {
+		return Entry{}, fmt.Errorf("store: %s: version %q, want %q", path, doc.Version, entryVersion)
+	}
+	app := new(workflow.App)
+	if err := app.UnmarshalJSON(doc.Instance); err != nil {
+		return Entry{}, fmt.Errorf("store: %s: instance: %w", path, err)
+	}
+	inst, err := canon.Canonicalize(app)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if inst.Hash() != doc.Hash || !strings.HasPrefix(doc.Key, doc.Hash) {
+		return Entry{}, fmt.Errorf("store: %s: canonical hash mismatch", path)
+	}
+	eg, err := plan.Build(inst.App(), doc.Edges)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: %s: graph: %w", path, err)
+	}
+	list, err := oplist.LoadList(eg.Weighted(), doc.Schedule)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: %s: schedule: %w", path, err)
+	}
+	return Entry{
+		Key:      doc.Key,
+		Instance: inst,
+		Solution: solve.Solution{
+			Graph: eg,
+			Sched: orchestrate.Result{
+				List:       list,
+				Value:      doc.SchedValue,
+				LowerBound: doc.SchedLowerBound,
+				Exact:      doc.SchedExact,
+				Bottleneck: doc.SchedBottleneck,
+			},
+			Value: doc.Value,
+			Exact: doc.Exact,
+		},
+	}, nil
+}
+
+// Len counts the entries currently on disk.
+func (s *Store) Len() (int, error) {
+	names, err := s.entryNames()
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// Flush forces directory metadata to disk (entry data is already fsynced
+// per write) — the graceful-shutdown hook of cmd/filterd.
+func (s *Store) Flush() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

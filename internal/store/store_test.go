@@ -1,0 +1,173 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/plan"
+	"repro/internal/solve"
+	"repro/internal/workflow"
+)
+
+func solvedEntry(t *testing.T, name string) Entry {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := new(workflow.App)
+	if err := app.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := canon.Canonicalize(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solve.MinPeriod(inst.App(), plan.InOrder, solve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{Key: inst.Hash() + "|inorder|period", Instance: inst, Solution: sol}
+}
+
+// TestPutLoadRoundTripsBitIdentical: an entry written and loaded back
+// reproduces the key, hash, objective metadata, graph edges and the exact
+// oplist serialization of the original solution.
+func TestPutLoadRoundTripsBitIdentical(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solvedEntry(t, "webquery8.json")
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Entry
+	if err := s.Load(func(e Entry) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d entries, want 1", len(got))
+	}
+	e := got[0]
+	if e.Key != want.Key || e.Instance.Hash() != want.Instance.Hash() {
+		t.Errorf("key/hash: got %q/%s", e.Key, e.Instance.Hash())
+	}
+	if !e.Solution.Value.Equal(want.Solution.Value) || e.Solution.Exact != want.Solution.Exact {
+		t.Errorf("objective: got %s/%v, want %s/%v",
+			e.Solution.Value, e.Solution.Exact, want.Solution.Value, want.Solution.Exact)
+	}
+	if !reflect.DeepEqual(e.Solution.Graph.Graph().Edges(), want.Solution.Graph.Graph().Edges()) {
+		t.Error("graph edges differ after the round trip")
+	}
+	if !e.Solution.Sched.Value.Equal(want.Solution.Sched.Value) ||
+		!e.Solution.Sched.LowerBound.Equal(want.Solution.Sched.LowerBound) ||
+		e.Solution.Sched.Exact != want.Solution.Sched.Exact ||
+		!reflect.DeepEqual(e.Solution.Sched.Bottleneck, want.Solution.Sched.Bottleneck) {
+		t.Error("orchestration metadata differs after the round trip")
+	}
+	wantSched, err := json.Marshal(want.Solution.Sched.List)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSched, err := json.Marshal(e.Solution.Sched.List)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSched) != string(wantSched) {
+		t.Error("schedule serialization differs after the round trip")
+	}
+	if st := s.Stats(); st.Writes != 1 || st.Loaded != 1 || st.Skipped != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestPutReplacesSameKey: write-through updates replace, never duplicate.
+func TestPutReplacesSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := solvedEntry(t, "mixed6.json")
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestLoadSkipsForeignAndCorruptFiles: wrong-version entries, torn JSON,
+// temp files and hash-mismatched entries are counted skipped, not served.
+func TestLoadSkipsForeignAndCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := solvedEntry(t, "mixed6.json")
+	if err := s.Put(good); err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("torn"+suffix, `{"version": "filterd-plan-store/v1", "key": "tru`)
+	write("wrongver"+suffix, `{"version": "filterd-plan-store/v999", "key": "x"}`)
+	write(".tmp-123", `garbage from a crashed write`)
+	write("README.txt", `not an entry`)
+
+	// A forged entry whose instance does not hash to its recorded hash.
+	forged, err := os.ReadFile(filepath.Join(dir, fileName(good.Key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(forged, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["hash"] = "0000000000000000000000000000000000000000000000000000000000000000"
+	forgedData, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("forged"+suffix, string(forgedData))
+
+	var keys []string
+	if err := s.Load(func(e Entry) { keys = append(keys, e.Key) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != good.Key {
+		t.Fatalf("loaded keys %v, want only the good entry", keys)
+	}
+	if st := s.Stats(); st.Loaded != 1 || st.Skipped != 3 {
+		t.Errorf("stats %+v, want 1 loaded / 3 skipped", st)
+	}
+}
+
+// TestFlushAndOpenValidation: Flush succeeds on a live store; Open rejects
+// an empty directory path.
+func TestFlushAndOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the filterd cluster: boot two replicas and a router,
+# plan testdata/webquery8.json through the router, require the routed
+# answer to match the filterplan CLI on the same canonical instance, then
+# kill the owning replica mid-run and require the router to fail over to
+# its local solve with the identical value.
+# No dependencies beyond a POSIX shell and curl (JSON and headers are
+# picked apart with sed so CI images without jq work too).
+set -eu
+
+BASE="${FILTERD_CLUSTER_PORT:-18330}"
+ROUTER_PORT="$BASE"
+REP1_PORT=$((BASE + 1))
+REP2_PORT=$((BASE + 2))
+MODEL=inorder
+BIN="$(mktemp -d)"
+REP1_PID=
+REP2_PID=
+ROUTER_PID=
+# The kill loop must tolerate already-cleared PIDs (the failover step
+# empties the killed replica's variable): unquoted expansion drops them,
+# and per-PID kills keep one bad arg from aborting the rest.
+trap 'for p in $REP1_PID $REP2_PID $ROUTER_PID; do kill "$p" 2>/dev/null || true; done; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/filterd" ./cmd/filterd
+go build -o "$BIN/filterplan" ./cmd/filterplan
+
+"$BIN/filterd" -addr "127.0.0.1:$REP1_PORT" -workers 1 &
+REP1_PID=$!
+"$BIN/filterd" -addr "127.0.0.1:$REP2_PORT" -workers 1 &
+REP2_PID=$!
+"$BIN/filterd" -addr "127.0.0.1:$ROUTER_PORT" -workers 1 \
+    -peers "http://127.0.0.1:$REP1_PORT,http://127.0.0.1:$REP2_PORT" &
+ROUTER_PID=$!
+
+wait_up() {
+    i=0
+    until curl -sf "http://127.0.0.1:$1/v1/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "smoke-cluster: daemon did not come up on port $1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_up "$REP1_PORT"
+wait_up "$REP2_PORT"
+wait_up "$ROUTER_PORT"
+
+REQUEST="{\"instance\": $(cat testdata/webquery8.json), \"model\": \"$MODEL\", \"objective\": \"period\"}"
+HDRS="$BIN/headers.txt"
+
+# Routed request: capture the value plus the routing headers.
+ROUTED_VALUE=$(curl -sf -D "$HDRS" -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
+    | sed -n 's/.*"value": "\([^"]*\)".*/\1/p' | head -1)
+OWNER=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Shard-Owner: //p' | head -1)
+SERVED_BY=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Served-By: //p' | head -1)
+
+# -canon makes the CLI solve the same canonical instance the service does.
+CLI_VALUE=$("$BIN/filterplan" -canon -in testdata/webquery8.json -model "$MODEL" -objective period \
+    | sed -n 's/^period = \([^ ]*\) .*/\1/p' | head -1)
+
+echo "smoke-cluster: routed value=$ROUTED_VALUE CLI value=$CLI_VALUE owner=$OWNER served-by=$SERVED_BY"
+[ -n "$ROUTED_VALUE" ] || { echo "smoke-cluster: empty routed value" >&2; exit 1; }
+[ "$ROUTED_VALUE" = "$CLI_VALUE" ] || { echo "smoke-cluster: routed and CLI disagree" >&2; exit 1; }
+[ "$SERVED_BY" = "$OWNER" ] || { echo "smoke-cluster: first answer not served by the owner" >&2; exit 1; }
+
+# Kill the owning replica mid-run; the router must fail over to its local
+# solve and still return the identical answer.
+case "$OWNER" in
+    *":$REP1_PORT") kill "$REP1_PID"; REP1_PID= ;;
+    *":$REP2_PORT") kill "$REP2_PID"; REP2_PID= ;;
+    *) echo "smoke-cluster: unexpected owner $OWNER" >&2; exit 1 ;;
+esac
+
+FAILOVER_VALUE=$(curl -sf -D "$HDRS" -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
+    | sed -n 's/.*"value": "\([^"]*\)".*/\1/p' | head -1)
+SERVED_BY2=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Served-By: //p' | head -1)
+FAILOVERS=$(curl -sf "http://127.0.0.1:$ROUTER_PORT/v1/stats" \
+    | sed -n 's/.*"failovers": \([0-9]*\).*/\1/p' | head -1)
+
+echo "smoke-cluster: failover value=$FAILOVER_VALUE served-by=$SERVED_BY2 failovers=$FAILOVERS"
+[ "$FAILOVER_VALUE" = "$CLI_VALUE" ] || { echo "smoke-cluster: failover answer disagrees" >&2; exit 1; }
+[ "$SERVED_BY2" = "local-failover" ] || { echo "smoke-cluster: request was not failed over locally" >&2; exit 1; }
+[ -n "$FAILOVERS" ] && [ "$FAILOVERS" -ge 1 ] || { echo "smoke-cluster: router counted no failover" >&2; exit 1; }
+echo "smoke-cluster: OK"
