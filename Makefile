@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build bins test test-short test-race bench bench-json fuzz vet check smoke-filterd smoke-cluster
+.PHONY: build bins test test-short test-race bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -25,15 +25,16 @@ test-short:
 
 # Concurrency soundness of the worker-pool search layer and the planning
 # service: full race runs of the pool, the sharded solvers (including the
-# branch-and-bound shared incumbent and context cancellation), the plan
-# cache's singleflight, the service's exactly-one-solve / restart /
-# subscription suites, the persistent store and the cluster router, plus
-# one race pass of the concurrent experiment harness (the rest of
-# internal/experiments runs race+short — its full sweep is covered unraced
-# by `test`).
+# branch-and-bound shared incumbent and context cancellation), the sharded
+# orchestration order search (shared incumbent + per-shard scratch) and
+# its event-graph engine, the plan cache's singleflight, the service's
+# exactly-one-solve / restart / subscription suites, the persistent store
+# and the cluster router, plus one race pass of the concurrent experiment
+# harness (the rest of internal/experiments runs race+short — its full
+# sweep is covered unraced by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # One pass over every benchmark, including the parallel-vs-serial pairs.
@@ -60,6 +61,13 @@ smoke-filterd:
 # value (CI runs the same check).
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# Orchestration fast-path smoke: one iteration of each order-search
+# benchmark pair (pruned + sharded exhaustive search, serial and parallel),
+# so the benchmarks behind BENCH_plan.json cannot bit-rot (CI runs the
+# same check).
+smoke-orch:
+	$(GO) test -run '^$$' -bench 'Orchestrate' -benchtime 1x .
 
 # Short coverage-guided fuzz smoke of the operation-list JSON codec (the
 # corpus seeds also run as regular unit tests under `test`).

@@ -5,6 +5,7 @@
 package filtering_test
 
 import (
+	"runtime"
 	"testing"
 
 	filtering "repro"
@@ -263,6 +264,56 @@ func benchHillClimb(b *testing.B, workers int) {
 
 func BenchmarkHillClimbSerial(b *testing.B)   { benchHillClimb(b, 1) }
 func BenchmarkHillClimbParallel(b *testing.B) { benchHillClimb(b, 0) }
+
+// --- orchestration fast-path benchmarks ---
+//
+// The pruned + sharded order search (PR 5) against a DAG whose 23040-
+// combination order space the pre-fast-path default (MaxExhaustive 4096)
+// refused to search exactly: the raised default covers it, bound pruning
+// and the static-floor early exit score a fraction of the product, and the
+// Serial/Parallel pair measures the order-level sharding on this machine
+// (bit-identical results either way; orchestrate treats Workers <= 1 as
+// serial, so the parallel leg passes runtime.NumCPU() explicitly).
+
+func orchestrateBenchPlan() *plan.Weighted {
+	rng := gen.NewRand(42)
+	app := gen.App(rng, 6+rng.Intn(3), gen.Mixed)
+	return gen.DAGPlan(rng, app, 0.5).Weighted()
+}
+
+func benchOrchestratePeriod(b *testing.B, workers int) {
+	w := orchestrateBenchPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := orchestrate.InOrderPeriod(w, orchestrate.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exact {
+			b.Fatal("benchmark order space must be searched exactly")
+		}
+	}
+}
+
+func BenchmarkOrchestratePeriodSerial(b *testing.B)   { benchOrchestratePeriod(b, 1) }
+func BenchmarkOrchestratePeriodParallel(b *testing.B) { benchOrchestratePeriod(b, runtime.NumCPU()) }
+
+func benchOrchestrateLatency(b *testing.B, workers int) {
+	w := orchestrateBenchPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := orchestrate.OnePortLatency(w, orchestrate.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exact {
+			b.Fatal("benchmark order space must be searched exactly")
+		}
+	}
+}
+
+func BenchmarkOrchestrateLatencySerial(b *testing.B)   { benchOrchestrateLatency(b, 1) }
+func BenchmarkOrchestrateLatencyParallel(b *testing.B) { benchOrchestrateLatency(b, runtime.NumCPU()) }
 
 func benchExperimentsAll(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {

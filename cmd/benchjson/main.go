@@ -51,7 +51,7 @@ type trajectory struct {
 	Runs    []run  `json:"runs"`
 }
 
-const comment = "Benchmark trajectory: one run record per `make bench-json` invocation (parallel-vs-serial plan-search pairs; ratios measure the worker-pool speedup on that run's host). Append-only — see cmd/benchjson."
+const comment = "Benchmark trajectory: one run record per `make bench-json` invocation (parallel-vs-serial pairs of the plan-search layer AND the orchestration-level order search — OrchestratePeriod/OrchestrateLatency — plus the n=12 chain certification; ratios measure the worker-pool speedup on that run's host). Append-only — see cmd/benchjson."
 
 func main() {
 	var (

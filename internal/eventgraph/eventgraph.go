@@ -46,12 +46,18 @@ type Edge struct {
 
 // Graph is a timed event graph. Parallel edges and self-loops are allowed
 // (a self-loop with one token encodes "the operation must fit in the
-// period").
+// period"). A Graph is not safe for concurrent use: besides the edge
+// lists it owns scratch buffers reused by the analyses, so searches that
+// evaluate many graphs concurrently must give each goroutine its own
+// Graph (typically one reset with Reset between candidates).
 type Graph struct {
 	n     int
 	edges []Edge
 	out   [][]int // edge indices by source node
 	in    [][]int // edge indices by target node
+
+	scratch howardScratch
+	color   []int // checkZeroTokenAcyclic working state, reused across calls
 }
 
 // New returns an empty event graph with n operation nodes.
@@ -60,6 +66,28 @@ func New(n int) *Graph {
 		panic("eventgraph: negative node count")
 	}
 	return &Graph{n: n, out: make([][]int, n), in: make([][]int, n)}
+}
+
+// Reset empties the graph and resizes it to n operation nodes, keeping the
+// allocated edge and adjacency storage for reuse. Hot search loops that
+// build one event graph per candidate call Reset instead of New so the
+// per-candidate allocations disappear after the first candidate.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("eventgraph: negative node count")
+	}
+	g.edges = g.edges[:0]
+	if cap(g.out) < n {
+		g.out = make([][]int, n)
+		g.in = make([][]int, n)
+	}
+	g.out = g.out[:n]
+	g.in = g.in[:n]
+	for v := 0; v < n; v++ {
+		g.out[v] = g.out[v][:0]
+		g.in[v] = g.in[v][:0]
+	}
+	g.n = n
 }
 
 // N returns the number of nodes.
@@ -89,7 +117,13 @@ func (g *Graph) AddEdge(from, to int, delay rat.Rat, tokens int) {
 // checkZeroTokenAcyclic verifies that the subgraph of zero-token edges is
 // acyclic; otherwise the system deadlocks.
 func (g *Graph) checkZeroTokenAcyclic() error {
-	color := make([]int, g.n) // 0 white, 1 grey, 2 black
+	if cap(g.color) < g.n {
+		g.color = make([]int, g.n)
+	}
+	color := g.color[:g.n] // 0 white, 1 grey, 2 black
+	for i := range color {
+		color[i] = 0
+	}
 	var visit func(v int) bool
 	visit = func(v int) bool {
 		color[v] = 1
@@ -187,6 +221,10 @@ func (g *Graph) MaximumCycleRatio() (MCRResult, error) {
 	if err := g.checkZeroTokenAcyclic(); err != nil {
 		return MCRResult{}, err
 	}
+	// One full scratch clear per call; howardSCC touches only its own
+	// component's entries (and resets the shared inComp marks), so the
+	// per-component cost stays proportional to the component.
+	g.scratch.resize(g.n)
 	best := MCRResult{Ratio: rat.Zero}
 	found := false
 	for _, comp := range g.sccs() {
@@ -205,92 +243,141 @@ func (g *Graph) MaximumCycleRatio() (MCRResult, error) {
 	return best, nil
 }
 
-// howardSCC runs Howard's policy iteration (maximum version) on one
-// strongly connected component. ok is false when the component contains no
-// cycle (single node without self-loop).
-func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
-	// Collect the edges internal to the component.
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
+// howardScratch holds the per-node working state of Howard's policy
+// iteration, indexed by global node id and reused across calls (the order
+// searches run one MCR per candidate graph, so these buffers are the hot
+// allocation site of period orchestration). resize clears what it keeps,
+// so each call starts clean.
+type howardScratch struct {
+	inComp  []bool
+	hasOut  []bool
+	policy  []int
+	etaSet  []bool
+	eta     []rat.Rat
+	val     []rat.Rat
+	cycleOf [][]int
+	state   []uint8
+	local   []int // edge indices internal to the component
+	stack   []int
+}
+
+func (s *howardScratch) resize(n int) {
+	if cap(s.inComp) < n {
+		s.inComp = make([]bool, n)
+		s.hasOut = make([]bool, n)
+		s.policy = make([]int, n)
+		s.etaSet = make([]bool, n)
+		s.eta = make([]rat.Rat, n)
+		s.val = make([]rat.Rat, n)
+		s.cycleOf = make([][]int, n)
+		s.state = make([]uint8, n)
 	}
-	local := make([]int, 0) // edge indices
-	hasOut := make(map[int]bool)
+	s.inComp = s.inComp[:n]
+	s.hasOut = s.hasOut[:n]
+	s.policy = s.policy[:n]
+	s.etaSet = s.etaSet[:n]
+	s.eta = s.eta[:n]
+	s.val = s.val[:n]
+	s.cycleOf = s.cycleOf[:n]
+	s.state = s.state[:n]
+	for i := 0; i < n; i++ {
+		s.inComp[i] = false
+		s.hasOut[i] = false
+		s.policy[i] = -1
+		s.etaSet[i] = false
+		s.eta[i] = rat.Zero
+		s.val[i] = rat.Zero
+		s.cycleOf[i] = nil
+		s.state[i] = 0
+	}
+	s.local = s.local[:0]
+	s.stack = s.stack[:0]
+}
+
+// howardSCC runs Howard's policy iteration (maximum version) on one
+// strongly connected component of a graph whose scratch MaximumCycleRatio
+// just cleared. ok is false when the component contains no cycle (single
+// node without self-loop). All state lives in slice scratch indexed by
+// node id and every scan follows slice order, so the tie-break among
+// equal-ratio policy cycles — and therefore the returned critical cycle —
+// is deterministic. Only the component's own entries are written, except
+// inComp, whose marks are reset on return (cross-component edges read
+// other nodes' entries).
+func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
+	s := &g.scratch
+	s.local = s.local[:0]
+	for _, v := range comp {
+		s.inComp[v] = true
+	}
+	defer func() {
+		for _, v := range comp {
+			s.inComp[v] = false
+		}
+	}()
 	for _, v := range comp {
 		for _, ei := range g.out[v] {
-			if inComp[g.edges[ei].To] {
-				local = append(local, ei)
-				hasOut[v] = true
+			if s.inComp[g.edges[ei].To] {
+				s.local = append(s.local, ei)
+				s.hasOut[v] = true
 			}
 		}
 	}
-	if len(local) == 0 {
+	if len(s.local) == 0 {
 		return MCRResult{}, false, nil
 	}
 	if len(comp) > 1 {
 		// In a nontrivial SCC every node has an internal out-edge.
 		for _, v := range comp {
-			if !hasOut[v] {
+			if !s.hasOut[v] {
 				return MCRResult{}, false, fmt.Errorf("eventgraph: internal error: SCC node %d without out-edge", v)
 			}
 		}
-	} else if !hasOut[comp[0]] {
+	} else if !s.hasOut[comp[0]] {
 		return MCRResult{}, false, nil // single node, no self-loop
 	}
 
 	// policy[v] = chosen out-edge index (into g.edges).
-	policy := make(map[int]int, len(comp))
 	for _, v := range comp {
 		for _, ei := range g.out[v] {
-			if inComp[g.edges[ei].To] {
-				policy[v] = ei
+			if s.inComp[g.edges[ei].To] {
+				s.policy[v] = ei
 				break
 			}
 		}
 	}
 
-	eta := make(map[int]rat.Rat, len(comp))   // cycle ratio reached by v
-	val := make(map[int]rat.Rat, len(comp))   // bias value of v
-	cycleOf := make(map[int][]int, len(comp)) // representative -> cycle edge list
-
 	evaluate := func() error {
-		for k := range eta {
-			delete(eta, k)
+		for _, v := range comp {
+			s.etaSet[v] = false
+			s.cycleOf[v] = nil
+			s.state[v] = 0
 		}
-		for k := range val {
-			delete(val, k)
-		}
-		for k := range cycleOf {
-			delete(cycleOf, k)
-		}
-		state := make(map[int]int, len(comp)) // 0/absent unvisited, 1 on path, 2 done
-		var stackOrder []int
 		for _, start := range comp {
-			if state[start] != 0 {
+			if s.state[start] != 0 {
 				continue
 			}
 			// Walk the functional graph until reaching a visited node.
-			stackOrder = stackOrder[:0]
+			s.stack = s.stack[:0]
 			v := start
-			for state[v] == 0 {
-				state[v] = 1
-				stackOrder = append(stackOrder, v)
-				v = g.edges[policy[v]].To
+			for s.state[v] == 0 {
+				s.state[v] = 1
+				s.stack = append(s.stack, v)
+				v = g.edges[s.policy[v]].To
 			}
-			if state[v] == 1 {
+			if s.state[v] == 1 {
 				// Found a new policy cycle; v is its entry point.
 				var cyc []int
-				i := len(stackOrder) - 1
-				for stackOrder[i] != v {
+				i := len(s.stack) - 1
+				for s.stack[i] != v {
 					i--
 				}
-				cycNodes := stackOrder[i:]
+				cycNodes := s.stack[i:]
 				sumD, sumH := rat.Zero, 0
 				for _, u := range cycNodes {
-					e := g.edges[policy[u]]
+					e := g.edges[s.policy[u]]
 					sumD = sumD.Add(e.Delay)
 					sumH += e.Tokens
-					cyc = append(cyc, policy[u])
+					cyc = append(cyc, s.policy[u])
 				}
 				if sumH == 0 {
 					return ErrZeroTokenCycle
@@ -298,25 +385,28 @@ func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
 				ratio := sumD.Div(rat.I(int64(sumH)))
 				// Values around the cycle: anchor v at 0 and walk the cycle
 				// list backwards so each node's successor value is known.
-				eta[v] = ratio
-				val[v] = rat.Zero
-				cycleOf[v] = cyc
+				s.etaSet[v] = true
+				s.eta[v] = ratio
+				s.val[v] = rat.Zero
+				s.cycleOf[v] = cyc
 				for j := len(cycNodes) - 1; j >= 1; j-- {
 					u := cycNodes[j]
-					e := g.edges[policy[u]]
-					eta[u] = ratio
-					val[u] = e.Delay.Sub(ratio.MulInt(int64(e.Tokens))).Add(val[e.To])
+					e := g.edges[s.policy[u]]
+					s.etaSet[u] = true
+					s.eta[u] = ratio
+					s.val[u] = e.Delay.Sub(ratio.MulInt(int64(e.Tokens))).Add(s.val[e.To])
 				}
 			}
 			// Unwind the tail: nodes leading into the (now evaluated) cycle.
-			for j := len(stackOrder) - 1; j >= 0; j-- {
-				u := stackOrder[j]
-				if _, done := eta[u]; !done {
-					e := g.edges[policy[u]]
-					eta[u] = eta[e.To]
-					val[u] = e.Delay.Sub(eta[u].MulInt(int64(e.Tokens))).Add(val[e.To])
+			for j := len(s.stack) - 1; j >= 0; j-- {
+				u := s.stack[j]
+				if !s.etaSet[u] {
+					e := g.edges[s.policy[u]]
+					s.etaSet[u] = true
+					s.eta[u] = s.eta[e.To]
+					s.val[u] = e.Delay.Sub(s.eta[u].MulInt(int64(e.Tokens))).Add(s.val[e.To])
 				}
-				state[u] = 2
+				s.state[u] = 2
 			}
 		}
 		return nil
@@ -329,10 +419,10 @@ func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
 		}
 		// Phase 1: ratio improvements.
 		changed := false
-		for _, ei := range local {
+		for _, ei := range s.local {
 			e := g.edges[ei]
-			if eta[e.To].Greater(eta[e.From]) {
-				policy[e.From] = ei
+			if s.eta[e.To].Greater(s.eta[e.From]) {
+				s.policy[e.From] = ei
 				changed = true
 			}
 		}
@@ -340,24 +430,28 @@ func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
 			continue
 		}
 		// Phase 2: value improvements at equal ratio.
-		for _, ei := range local {
+		for _, ei := range s.local {
 			e := g.edges[ei]
-			if !eta[e.To].Equal(eta[e.From]) {
+			if !s.eta[e.To].Equal(s.eta[e.From]) {
 				continue
 			}
-			cand := e.Delay.Sub(eta[e.From].MulInt(int64(e.Tokens))).Add(val[e.To])
-			if cand.Greater(val[e.From]) {
-				policy[e.From] = ei
+			cand := e.Delay.Sub(s.eta[e.From].MulInt(int64(e.Tokens))).Add(s.val[e.To])
+			if cand.Greater(s.val[e.From]) {
+				s.policy[e.From] = ei
 				changed = true
 			}
 		}
 		if !changed {
-			// Converged: the best policy cycle carries the MCR.
+			// Converged: the best policy cycle carries the MCR; comp-order
+			// scanning keeps the winner deterministic among equal ratios.
 			var best MCRResult
 			first := true
-			for v, cyc := range cycleOf {
-				if first || eta[v].Greater(best.Ratio) {
-					best = MCRResult{Ratio: eta[v], CriticalCycle: cyc}
+			for _, v := range comp {
+				if s.cycleOf[v] == nil {
+					continue
+				}
+				if first || s.eta[v].Greater(best.Ratio) {
+					best = MCRResult{Ratio: s.eta[v], CriticalCycle: s.cycleOf[v]}
 					first = false
 				}
 			}
@@ -376,10 +470,32 @@ func (g *Graph) howardSCC(comp []int) (MCRResult, bool, error) {
 // lambda is below the maximum cycle ratio and ErrZeroTokenCycle on
 // deadlock.
 func (g *Graph) Potentials(lambda rat.Rat) ([]rat.Rat, error) {
-	if err := g.checkZeroTokenAcyclic(); err != nil {
+	pi, err := g.PotentialsInto(nil, lambda)
+	if err != nil {
 		return nil, err
 	}
-	pi := make([]rat.Rat, g.n)
+	return pi, nil
+}
+
+// PotentialsInto is Potentials writing into the caller's buffer (grown
+// when too small, zeroed before use), so per-candidate searches can reuse
+// one begin-time vector across evaluations. The returned slice aliases
+// buf whenever buf had the capacity; on error it is the (possibly grown)
+// working buffer with unspecified contents — callers keep it for the next
+// call instead of dropping the allocation.
+func (g *Graph) PotentialsInto(buf []rat.Rat, lambda rat.Rat) ([]rat.Rat, error) {
+	if err := g.checkZeroTokenAcyclic(); err != nil {
+		return buf, err
+	}
+	pi := buf
+	if cap(pi) < g.n {
+		pi = make([]rat.Rat, g.n)
+	} else {
+		pi = pi[:g.n]
+		for i := range pi {
+			pi[i] = rat.Zero
+		}
+	}
 	// Bellman-Ford longest path; n rounds suffice when no positive cycle.
 	for round := 0; round <= g.n; round++ {
 		changed := false
@@ -394,7 +510,7 @@ func (g *Graph) Potentials(lambda rat.Rat) ([]rat.Rat, error) {
 			return pi, nil
 		}
 	}
-	return nil, ErrInfeasible
+	return pi, ErrInfeasible
 }
 
 // FeasiblePeriod reports whether the given period admits a schedule.

@@ -307,3 +307,85 @@ func BenchmarkPotentials(b *testing.B) {
 		}
 	}
 }
+
+// TestResetMatchesFreshGraph pins the scratch-reuse contract of the order
+// search: a graph rebuilt through Reset must analyze exactly like a fresh
+// one — same MCR (ratio and critical cycle), same potentials — whatever
+// the graph it held before, including across size changes.
+func TestResetMatchesFreshGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reused := New(0)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		seed := rng.Int63()
+		fresh := randomEventGraph(rand.New(rand.NewSource(seed)), n)
+		reused.Reset(n)
+		for _, e := range randomEventGraph(rand.New(rand.NewSource(seed)), n).Edges() {
+			reused.AddEdge(e.From, e.To, e.Delay, e.Tokens)
+		}
+		fr, ferr := fresh.MaximumCycleRatio()
+		rr, rerr := reused.MaximumCycleRatio()
+		if !errors.Is(rerr, ferr) {
+			t.Fatalf("trial %d: MCR errors diverge: fresh %v, reused %v", trial, ferr, rerr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if !fr.Ratio.Equal(rr.Ratio) {
+			t.Fatalf("trial %d: ratio %s != %s", trial, fr.Ratio, rr.Ratio)
+		}
+		if len(fr.CriticalCycle) != len(rr.CriticalCycle) {
+			t.Fatalf("trial %d: critical cycles differ: %v vs %v", trial, fr.CriticalCycle, rr.CriticalCycle)
+		}
+		for i := range fr.CriticalCycle {
+			if fr.CriticalCycle[i] != rr.CriticalCycle[i] {
+				t.Fatalf("trial %d: critical cycles differ: %v vs %v", trial, fr.CriticalCycle, rr.CriticalCycle)
+			}
+		}
+		fp, err1 := fresh.Potentials(fr.Ratio)
+		rp, err2 := reused.Potentials(rr.Ratio)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: potentials failed: %v / %v", trial, err1, err2)
+		}
+		for v := range fp {
+			if !fp[v].Equal(rp[v]) {
+				t.Fatalf("trial %d: potential %d: %s != %s", trial, v, fp[v], rp[v])
+			}
+		}
+	}
+}
+
+// TestPotentialsIntoReusesBuffer pins the buffer contract: the result
+// matches Potentials, a big-enough buffer is reused in place, and error
+// paths hand the (possibly grown) buffer back instead of dropping it.
+func TestPotentialsIntoReusesBuffer(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, rat.I(2), 0)
+	g.AddEdge(1, 2, rat.I(3), 0)
+	g.AddEdge(2, 0, rat.I(1), 1)
+	want, err := g.Potentials(rat.I(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]rat.Rat, 8)
+	got, err := g.PotentialsInto(buf, rat.I(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("big-enough buffer was not reused")
+	}
+	for v := range want {
+		if !want[v].Equal(got[v]) {
+			t.Fatalf("potential %d: %s != %s", v, want[v], got[v])
+		}
+	}
+	// Infeasible period: the buffer must come back for reuse.
+	back, err := g.PotentialsInto(buf, rat.I(1))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+	if back == nil {
+		t.Fatal("error path dropped the buffer")
+	}
+}

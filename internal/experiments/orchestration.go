@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/orchestrate"
+	"repro/internal/plan"
+	"repro/internal/texttab"
+)
+
+// E18OrderPruning measures the orchestration fast path (PR 5): the pruned
+// prefix search against the flat order-space product it replaced, and the
+// exact-rate gain of raising the default exhaustive cap from 4096 to
+// 65536 combinations. The first table's rows run the exhaustive search
+// with counters on instances of growing order spaces: 'combinations' is
+// the full product a flat enumeration scores, 'evaluated' what the pruned
+// search actually scored (prefix bounds + the static-floor early exit cut
+// the rest). The closing rows sweep random DAG plans: spaces in the
+// (4096, 65536] band were heuristic before the cap raise and are searched
+// exactly now — at a pruned cost far below the product — so their
+// orchestrations gained Exact: true.
+func E18OrderPruning(budget int) Report {
+	tab := texttab.New("instance", "search", "combinations", "prefixes", "pruned", "evaluated", "evals kept", "exact")
+	ok := true
+
+	// small instances draw 3-6 services at density 0.6, large ones (the
+	// fast-path benchmark family, cf. BenchmarkOrchestratePeriod*) 6-8 at
+	// density 0.5.
+	mkPlan := func(seed int64, small bool) *plan.Weighted {
+		rng := gen.NewRand(seed)
+		if small {
+			return gen.DAGPlan(rng, gen.App(rng, 3+rng.Intn(4), gen.Mixed), 0.6).Weighted()
+		}
+		return gen.DAGPlan(rng, gen.App(rng, 6+rng.Intn(3), gen.Mixed), 0.5).Weighted()
+	}
+	type ocase struct {
+		name  string
+		seed  int64
+		small bool
+		kind  string // "period" or "latency"
+	}
+	cases := []ocase{
+		{"dag-a", 2, true, "period"},
+		{"dag-a", 2, true, "latency"},
+		{"dag-b", 18, true, "period"},
+		{"dag-c", 42, false, "period"},
+		{"dag-c", 42, false, "latency"},
+	}
+	if budget > 1 {
+		cases = append(cases,
+			ocase{"dag-d", 44, false, "period"},
+			ocase{"dag-d", 44, false, "latency"},
+		)
+	}
+	for _, c := range cases {
+		w := mkPlan(c.seed, c.small)
+		combos := orchestrate.OrderCombinations(w, 1<<30)
+		var st orchestrate.Stats
+		opts := orchestrate.Options{Stats: &st, Workers: 1}
+		var res orchestrate.Result
+		var err error
+		if c.kind == "period" {
+			res, err = orchestrate.InOrderPeriod(w, opts)
+		} else {
+			res, err = orchestrate.OnePortLatency(w, opts)
+		}
+		if err != nil {
+			return fail("E18", "orchestration order-search pruning", err)
+		}
+		rowOK := res.Exact && st.Evaluated <= int64(combos) && !res.Value.Less(res.LowerBound)
+		ok = ok && rowOK
+		tab.Row(c.name, c.kind, combos, st.Prefixes, st.Pruned, st.Evaluated,
+			fmt.Sprintf("%.3f%%", 100*float64(st.Evaluated)/float64(combos)), mark(rowOK))
+	}
+
+	// Exact-rate sweep: random DAG plans binned by where their order space
+	// falls relative to the old and the new default cap.
+	trials := 60 * budget
+	within4096, within65536, beyond := 0, 0, 0
+	var promoted []*plan.Weighted
+	for seed := int64(1000); seed < int64(1000+trials); seed++ {
+		rng := gen.NewRand(seed)
+		app := gen.App(rng, 4+rng.Intn(5), profileFor(seed))
+		w := gen.DAGPlan(rng, app, 0.5).Weighted()
+		c := orchestrate.OrderCombinations(w, 1<<30)
+		switch {
+		case c <= 4096:
+			within4096++
+		case c <= 65536:
+			within65536++
+			if len(promoted) < 2 {
+				promoted = append(promoted, w)
+			}
+		default:
+			beyond++
+		}
+	}
+	oldRate := float64(within4096) / float64(trials)
+	newRate := float64(within4096+within65536) / float64(trials)
+	tab.Row("sweep", fmt.Sprintf("%d plans", trials), "-", "-", "-", "-",
+		fmt.Sprintf("exact-rate %.0f%% -> %.0f%%", 100*oldRate, 100*newRate), mark(newRate >= oldRate))
+	ok = ok && newRate >= oldRate
+
+	// The promoted band, verified end to end: under the old cap the search
+	// is heuristic; under the new default it is exact and never worse.
+	for i, w := range promoted {
+		heur, err := orchestrate.InOrderPeriod(w, orchestrate.Options{MaxExhaustive: 4096})
+		if err != nil {
+			return fail("E18", "orchestration order-search pruning", err)
+		}
+		var st orchestrate.Stats
+		exact, err := orchestrate.InOrderPeriod(w, orchestrate.Options{Stats: &st, Workers: 1})
+		if err != nil {
+			return fail("E18", "orchestration order-search pruning", err)
+		}
+		rowOK := !heur.Exact && exact.Exact && !exact.Value.Greater(heur.Value)
+		ok = ok && rowOK
+		combos := orchestrate.OrderCombinations(w, 1<<30)
+		tab.Row(fmt.Sprintf("promoted-%d", i+1), "period", combos, st.Prefixes, st.Pruned, st.Evaluated,
+			fmt.Sprintf("heur %s -> exact %s", heur.Value, exact.Value), mark(rowOK))
+	}
+
+	return Report{
+		ID: "E18", Title: "Orchestration fast path: order-prefix pruning and the exhaustive-cap raise", Table: tab, OK: ok,
+		Notes: []string{
+			"'combinations' is the flat per-server order product (Π ins!·outs!) the pre-fast-path search scored one by one; 'evaluated' counts complete assignments the pruned search still scored after bound pruning and the static-floor early exit.",
+			"Search equivalence (bit-identical schedules vs the flat enumeration, across worker counts) is pinned by internal/orchestrate's fast-path suite; this experiment records the effort reduction.",
+			"The sweep bins random DAG plans by order-space size: plans in the (4096, 65536] band were searched heuristically before the cap raise and exactly after it — the 'promoted' rows verify heuristic -> exact on two of them, with the exact value never worse.",
+			"Counters come from Workers: 1 runs; parallel runs return the identical Result but timing-dependent counters.",
+		},
+	}
+}

@@ -35,19 +35,115 @@ func OnePortLatencyWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, er
 	return l, nil
 }
 
+// onePortEval is the latency order-search evaluator: the value of an
+// assignment is the longest path of the order-induced DAG, computed on a
+// reused event graph and begin-time buffer; the operation list is only
+// built (by OnePortLatencyWithOrders) for improving candidates.
+type onePortEval struct {
+	w  *plan.Weighted
+	g  *eventgraph.Graph
+	pi []rat.Rat
+	fl rat.Rat
+}
+
+func newOnePortEval(w *plan.Weighted) orderEval {
+	return &onePortEval{w: w, g: eventgraph.New(opCount(w)), fl: w.LatencyPathBound()}
+}
+
+func (e *onePortEval) floor() rat.Rat { return e.fl }
+
+// build fills the scratch graph with the one-port precedence constraints:
+// exact per-server chains for decided sides, and for open sides only the
+// constraints every permutation implies (each in-comm precedes the
+// computation by its own volume, the computation precedes each out-comm by
+// the computation time). With all sides decided the graph is exactly the
+// one OnePortLatencyWithOrders solves.
+func (e *onePortEval) build(o Orders, decidedIn, decidedOut []bool) {
+	w := e.w
+	g := e.g
+	g.Reset(opCount(w))
+	for v := 0; v < w.N(); v++ {
+		calc := calcOp(v)
+		if decidedIn == nil || decidedIn[v] {
+			prev := -1
+			for _, ei := range o.In[v] {
+				op := commOp(w, ei)
+				if prev >= 0 {
+					g.AddEdge(prev, op, opDur(w, prev), 0)
+				}
+				prev = op
+			}
+			if prev >= 0 {
+				g.AddEdge(prev, calc, opDur(w, prev), 0)
+			}
+		} else {
+			for _, ei := range o.In[v] {
+				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
+			}
+		}
+		if decidedOut == nil || decidedOut[v] {
+			prev := calc
+			for _, ei := range o.Out[v] {
+				op := commOp(w, ei)
+				g.AddEdge(prev, op, opDur(w, prev), 0)
+				prev = op
+			}
+		} else {
+			for _, ei := range o.Out[v] {
+				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+			}
+		}
+	}
+}
+
+// latency runs the longest-path relaxation on the current scratch graph
+// and returns the latest communication end — List.Latency of the induced
+// schedule. The error is the deadlock of the (partial) orders.
+func (e *onePortEval) latency() (rat.Rat, error) {
+	pi, err := e.g.PotentialsInto(e.pi, rat.One) // tokens all 0: period-independent
+	if pi != nil {
+		e.pi = pi
+	}
+	if err != nil {
+		return rat.Zero, err
+	}
+	lat := rat.Zero
+	for ei := range e.w.Edges() {
+		lat = rat.Max(lat, pi[commOp(e.w, ei)].Add(e.w.Vol(ei)))
+	}
+	return lat, nil
+}
+
+func (e *onePortEval) value(o Orders) (rat.Rat, error) {
+	e.build(o, nil, nil)
+	return e.latency()
+}
+
+func (e *onePortEval) list(o Orders) (*oplist.List, error) {
+	return OnePortLatencyWithOrders(e.w, o)
+}
+
+// exceeds bounds all completions of the partial assignment: decided sides
+// contribute their exact chains, open sides only implied constraints, so
+// the relaxed longest path is a lower bound on every completion's latency
+// (a relaxed deadlock is a deadlock of every completion — the open-side
+// edges are implied by each of them).
+func (e *onePortEval) exceeds(o Orders, decidedIn, decidedOut []bool, limit rat.Rat) bool {
+	e.build(o, decidedIn, decidedOut)
+	lb, err := e.latency()
+	if err != nil {
+		return true // every completion deadlocks
+	}
+	return lb.Greater(limit)
+}
+
 // OnePortLatency searches per-server orders for the minimal one-port
 // latency. The search is exact (over all schedules, since any valid
 // one-port single-data-set schedule induces such orders) when the
 // combination count fits the exhaustive budget. Applies to both INORDER
 // and OUTORDER, which coincide for latency (paper §2.2).
 func OnePortLatency(w *plan.Weighted, opts Options) (Result, error) {
-	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
-		l, err := OnePortLatencyWithOrders(w, o)
-		if err != nil {
-			return rat.Zero, nil, err
-		}
-		return l.Latency(), l, nil
-	})
+	res, err := searchOrders(w, opts, func() orderEval { return newOnePortEval(w) })
 	if err != nil {
 		return Result{}, err
 	}

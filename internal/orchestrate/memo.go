@@ -1,0 +1,169 @@
+package orchestrate
+
+// Solve-level orchestration memoization.
+//
+// Plan-level searches reach the same weighted candidate graph many times —
+// hill-climb restarts revisit forests, branch-and-bound re-evaluates the
+// graphs its incumbent seeding already orchestrated, different shards meet
+// at symmetric candidates. Orchestration is deterministic for a fixed
+// weighted plan and options (every worker count returns the bit-identical
+// Result), so a fingerprint-keyed memo can return the first computation's
+// Result for all of them without touching the determinism invariant: a hit
+// is indistinguishable from recomputing.
+//
+// The key serializes the problem exactly — no hashing, so collisions are
+// impossible: objective kind, model, the Options fields that can change
+// the Result (Workers and Stats are deliberately excluded), and the full
+// weighted plan including names (bottleneck labels mention them).
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+)
+
+// Memo caches orchestration Results across the candidate evaluations of
+// one plan-level solve. It is safe for concurrent use; entries are
+// immutable once stored (callers must not mutate a memoized Result's
+// operation list — schedules are read-only after construction throughout
+// this repository). Errors are cached too: an infeasible weighted plan is
+// infeasible on every shard.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]memoEntry
+	max     int
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type memoEntry struct {
+	res Result
+	err error
+}
+
+// defaultMemoEntries bounds a zero-configured memo. A solve call touches
+// at most its evaluation budget's worth of distinct graphs, so this is
+// generous; beyond it the memo stops inserting (lookups stay correct,
+// extra evaluations just recompute).
+const defaultMemoEntries = 4096
+
+// NewMemo returns a memo holding at most max entries (max <= 0: a default
+// of 4096).
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = defaultMemoEntries
+	}
+	return &Memo{entries: make(map[string]memoEntry), max: max}
+}
+
+// lookup returns the cached outcome for key.
+func (m *Memo) lookup(key string) (Result, error, bool) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return e.res, e.err, ok
+}
+
+// store records an outcome, first writer wins; a full memo drops the
+// insert (never an entry).
+func (m *Memo) store(key string, res Result, err error) {
+	m.mu.Lock()
+	if _, ok := m.entries[key]; !ok && len(m.entries) < m.max {
+		m.entries[key] = memoEntry{res: res, err: err}
+	}
+	m.mu.Unlock()
+}
+
+// Hits returns the number of lookups served from the memo.
+func (m *Memo) Hits() int64 { return m.hits.Load() }
+
+// Misses returns the number of lookups that fell through to a fresh
+// orchestration.
+func (m *Memo) Misses() int64 { return m.misses.Load() }
+
+// Len returns the number of cached outcomes.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// memoKey serializes one orchestration problem exactly. kind distinguishes
+// the period and latency searches; opts contributes only the fields that
+// can change the Result. Built with strconv appends (no fmt): the key is
+// computed per candidate evaluation of a memoized plan search, so its
+// cost is part of the orchestration hot path.
+func memoKey(kind byte, m plan.Model, opts Options, w *plan.Weighted) string {
+	opts = opts.withDefaults()
+	b := make([]byte, 0, 64+16*w.N()+24*len(w.Edges()))
+	b = append(b, kind, '|')
+	b = strconv.AppendInt(b, int64(m), 10)
+	for _, f := range [...]int64{int64(opts.MaxExhaustive), int64(opts.LocalSearchPasses), int64(opts.RandomSamples), opts.Seed} {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, f, 10)
+	}
+	b = append(b, ';')
+	b = strconv.AppendInt(b, int64(w.N()), 10)
+	for v := 0; v < w.N(); v++ {
+		name := w.Name(v)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(len(name)), 10)
+		b = append(b, ':')
+		b = append(b, name...)
+		b = append(b, '=')
+		b = w.Comp(v).Append(b)
+	}
+	for ei, e := range w.Edges() {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(e.From), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(e.To), 10)
+		b = append(b, '=')
+		b = w.Vol(ei).Append(b)
+	}
+	return string(b)
+}
+
+// PeriodMemo is Period through a memo: a nil memo is a direct call, and a
+// hit returns the Result of the first evaluation of an identical weighted
+// plan under identical options — bit-identical to recomputing, since
+// orchestration is deterministic.
+func PeriodMemo(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	if memo == nil {
+		return Period(w, m, opts)
+	}
+	key := memoKey('p', m, opts, w)
+	if res, err, ok := memo.lookup(key); ok {
+		return res, err
+	}
+	res, err := Period(w, m, opts)
+	memo.store(key, res, err)
+	return res, err
+}
+
+// LatencyMemo is Latency through a memo; see PeriodMemo.
+func LatencyMemo(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	if memo == nil {
+		return Latency(w, m, opts)
+	}
+	key := memoKey('l', m, opts, w)
+	if res, err, ok := memo.lookup(key); ok {
+		return res, err
+	}
+	res, err := Latency(w, m, opts)
+	memo.store(key, res, err)
+	return res, err
+}
+
+// String renders the memo counters for stats reporting.
+func (m *Memo) String() string {
+	return fmt.Sprintf("memo{hits: %d, misses: %d, entries: %d}", m.Hits(), m.Misses(), m.Len())
+}

@@ -23,8 +23,6 @@
 package orchestrate
 
 import (
-	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/oplist"
@@ -34,9 +32,14 @@ import (
 
 // Options tunes the order searches. The zero value asks for defaults.
 type Options struct {
-	// MaxExhaustive caps the number of order combinations tried by the
-	// exhaustive search; above it the heuristic path is taken.
-	// Defaults to 4096.
+	// MaxExhaustive caps the number of order combinations searched
+	// exactly; above it the heuristic path is taken. The exhaustive path
+	// enumerates order prefixes with lower-bound pruning (search.go)
+	// rather than scoring the flat product, so the default affords 65536
+	// combinations — 16x the pre-fast-path default of 4096. The solve
+	// layer pins its inner searches back to 4096 (thousands of candidate
+	// graphs multiply whatever this costs); the raised default serves
+	// single-graph orchestrations.
 	MaxExhaustive int
 	// LocalSearchPasses bounds the hill-climbing passes of the heuristic
 	// path. Defaults to 8.
@@ -48,11 +51,26 @@ type Options struct {
 	RandomSamples int
 	// Seed drives the random sampling. The default 0 is a valid seed.
 	Seed int64
+	// Workers bounds the goroutines of the exhaustive order search:
+	// values > 1 shard the order space over the internal/par pool, while
+	// 0 and 1 (the zero default) run serially. The default is serial —
+	// unlike solve.Options.Workers — because order searches usually run
+	// inside plan-level search shards that already own the pool (one
+	// pool, never nested); the solve layer passes its worker budget down
+	// only for single-graph evaluations, where the pool is otherwise
+	// idle. Every value returns the bit-identical Result.
+	Workers int
+	// Stats, when non-nil, receives the pruned-search counters of the
+	// exhaustive path. The Result is identical for every worker count,
+	// but the counters are not: with Workers > 1 the shared pruning
+	// threshold evolves with goroutine timing. Run with Workers 0/1 for
+	// reproducible counts.
+	Stats *Stats
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxExhaustive == 0 {
-		o.MaxExhaustive = 4096
+		o.MaxExhaustive = 65536
 	}
 	if o.LocalSearchPasses == 0 {
 		o.LocalSearchPasses = 8
@@ -391,105 +409,11 @@ func permute(s []int, k int, fn func() bool) bool {
 	return true
 }
 
-// evalFn scores one order assignment; it returns an error when the orders
-// are infeasible (cross-server deadlock).
-type evalFn func(Orders) (rat.Rat, *oplist.List, error)
-
-// searchOrders minimizes eval over order assignments: exhaustively when the
-// combination count fits the budget, otherwise seeds + adjacent-swap local
-// search.
-func searchOrders(w *plan.Weighted, opts Options, eval evalFn) (Result, error) {
-	opts = opts.withDefaults()
-	var best *oplist.List
-	var bestVal rat.Rat
-	exact := false
-	consider := func(o Orders) {
-		val, l, err := eval(o)
-		if err != nil {
-			return
-		}
-		if best == nil || val.Less(bestVal) {
-			best, bestVal = l, val
-		}
-	}
-	if orderCombinations(w, opts.MaxExhaustive) <= opts.MaxExhaustive {
-		exact = true
-		forEachOrders(w, func(o Orders) bool {
-			consider(o)
-			return true
-		})
-	} else {
-		climb := func(cur Orders) {
-			val, l, err := eval(cur)
-			if err != nil {
-				return
-			}
-			if best == nil || val.Less(bestVal) {
-				best, bestVal = l, val
-			}
-			// Adjacent-swap hill climbing.
-			for pass := 0; pass < opts.LocalSearchPasses; pass++ {
-				improved := false
-				for v := 0; v < w.N(); v++ {
-					for _, side := range [][]int{cur.In[v], cur.Out[v]} {
-						for i := 0; i+1 < len(side); i++ {
-							side[i], side[i+1] = side[i+1], side[i]
-							nv, nl, err := eval(cur)
-							if err == nil && nv.Less(val) {
-								val = nv
-								improved = true
-								if nv.Less(bestVal) {
-									best, bestVal = nl, nv
-								}
-							} else {
-								side[i], side[i+1] = side[i+1], side[i]
-							}
-						}
-					}
-				}
-				if !improved {
-					break
-				}
-			}
-		}
-		for _, seed := range heuristicOrderSeeds(w) {
-			climb(seed.clone())
-		}
-		// Random restarts: sample order assignments, then climb from the
-		// best sample found.
-		if opts.RandomSamples > 0 {
-			rng := rand.New(rand.NewSource(opts.Seed))
-			var bestSample Orders
-			var bestSampleVal rat.Rat
-			haveSample := false
-			for s := 0; s < opts.RandomSamples; s++ {
-				cand := DefaultOrders(w)
-				for v := 0; v < w.N(); v++ {
-					rng.Shuffle(len(cand.In[v]), func(i, j int) {
-						cand.In[v][i], cand.In[v][j] = cand.In[v][j], cand.In[v][i]
-					})
-					rng.Shuffle(len(cand.Out[v]), func(i, j int) {
-						cand.Out[v][i], cand.Out[v][j] = cand.Out[v][j], cand.Out[v][i]
-					})
-				}
-				val, l, err := eval(cand)
-				if err != nil {
-					continue
-				}
-				if best == nil || val.Less(bestVal) {
-					best, bestVal = l, val
-				}
-				if !haveSample || val.Less(bestSampleVal) {
-					bestSample, bestSampleVal, haveSample = cand.clone(), val, true
-				}
-			}
-			if haveSample {
-				climb(bestSample)
-			}
-		}
-	}
-	if best == nil {
-		return Result{}, fmt.Errorf("orchestrate: no feasible order assignment found")
-	}
-	return Result{List: best, Value: bestVal, Exact: exact}, nil
+// OrderCombinations counts the order assignments of w — the product of
+// ins!·outs! over servers — capping at limit (limit+1 is returned beyond
+// it). The search compares it against Options.MaxExhaustive to pick the
+// exact or the heuristic path; the experiment harness reports it as the
+// flat product the pruned search avoids scoring.
+func OrderCombinations(w *plan.Weighted, limit int) int {
+	return orderCombinations(w, limit)
 }

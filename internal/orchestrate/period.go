@@ -174,17 +174,164 @@ func InOrderBottleneck(l *oplist.List) []string {
 	return describeCycle(l.Plan(), g, res.CriticalCycle)
 }
 
-// InOrderPeriod searches receive/send orders for the best INORDER period.
-// Exact reports whether all orders were tried (the optimum over the INORDER
-// schedule family); the general problem is NP-hard (paper Prop. 3).
-func InOrderPeriod(w *plan.Weighted, opts Options) (Result, error) {
-	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
-		l, err := InOrderPeriodWithOrders(w, o)
-		if err != nil {
-			return rat.Zero, nil, err
+// graphLambda maps an MCR outcome to the schedule period the way
+// solvePeriodGraph does: the exact ratio (1 for degenerate all-zero
+// cycles), 1 when no cyclic constraint exists, and the error otherwise.
+func graphLambda(g *eventgraph.Graph) (rat.Rat, error) {
+	res, err := g.MaximumCycleRatio()
+	switch err {
+	case nil:
+		if res.Ratio.Sign() == 0 {
+			return rat.One, nil
 		}
-		return l.Lambda(), l, nil
-	})
+		return res.Ratio, nil
+	case eventgraph.ErrNoCycle:
+		return rat.One, nil
+	default:
+		return rat.Zero, err
+	}
+}
+
+// inOrderEval is the INORDER order-search evaluator: the value of an
+// assignment is the maximum cycle ratio of its event graph, computed on a
+// reused graph; the full operation list (potentials + validation) is built
+// only for improving candidates.
+type inOrderEval struct {
+	w     *plan.Weighted
+	g     *eventgraph.Graph
+	pi    []rat.Rat
+	cexec []rat.Rat // per-server one-port execution time (Cin+comp+Cout)
+	fl    rat.Rat
+}
+
+func newInOrderEval(w *plan.Weighted) *inOrderEval {
+	e := &inOrderEval{
+		w:     w,
+		g:     eventgraph.New(opCount(w)),
+		cexec: make([]rat.Rat, w.N()),
+		fl:    w.PeriodLowerBound(plan.InOrder),
+	}
+	for v := 0; v < w.N(); v++ {
+		e.cexec[v] = w.Cexec(v, plan.InOrder)
+	}
+	return e
+}
+
+func (e *inOrderEval) floor() rat.Rat { return e.fl }
+
+// build fills the scratch graph with the INORDER constraints of a partial
+// assignment. Decided sides contribute their exact chain and wrap edges
+// (with both sides decided the graph matches buildInOrderGraph plus the
+// dominated per-server self-loops); open sides contribute only constraints
+// every completion implies:
+//
+//   - each in-comm precedes the computation by at least its own volume,
+//     the computation precedes each out-comm by at least the computation
+//     time (zero tokens: sub-paths of the completed chain);
+//   - every possible last operation reaches every possible first operation
+//     of the next data set through the wrap (one token, at least the last
+//     operation's own duration);
+//   - the full server cycle carries one token and total delay Cexec
+//     whatever the orders — the calc self-loop keeps that per-server floor
+//     in every partial graph.
+func (e *inOrderEval) build(o Orders, decidedIn, decidedOut []bool) {
+	w := e.w
+	g := e.g
+	g.Reset(opCount(w))
+	for v := 0; v < w.N(); v++ {
+		calc := calcOp(v)
+		ins, outs := o.In[v], o.Out[v]
+		din := decidedIn == nil || decidedIn[v]
+		dout := decidedOut == nil || decidedOut[v]
+		first := calc
+		if din {
+			prev := -1
+			for _, ei := range ins {
+				op := commOp(w, ei)
+				if prev >= 0 {
+					g.AddEdge(prev, op, opDur(w, prev), 0)
+				}
+				prev = op
+			}
+			if prev >= 0 {
+				g.AddEdge(prev, calc, opDur(w, prev), 0)
+				first = commOp(w, ins[0])
+			}
+		} else {
+			for _, ei := range ins {
+				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
+			}
+		}
+		last := calc
+		if dout {
+			prev := calc
+			for _, ei := range outs {
+				op := commOp(w, ei)
+				g.AddEdge(prev, op, opDur(w, prev), 0)
+				prev = op
+			}
+			last = prev
+		} else {
+			for _, ei := range outs {
+				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+			}
+		}
+		// Wrap edges (one token): every possible last op to every possible
+		// first op of the next data set.
+		switch {
+		case dout && din:
+			g.AddEdge(last, first, opDur(w, last), 1)
+		case dout:
+			for _, fi := range ins {
+				g.AddEdge(last, commOp(w, fi), opDur(w, last), 1)
+			}
+		case din:
+			for _, li := range outs {
+				g.AddEdge(commOp(w, li), first, w.Vol(li), 1)
+			}
+		default:
+			for _, li := range outs {
+				for _, fi := range ins {
+					g.AddEdge(commOp(w, li), commOp(w, fi), w.Vol(li), 1)
+				}
+			}
+		}
+		g.AddEdge(calc, calc, e.cexec[v], 1)
+	}
+}
+
+func (e *inOrderEval) value(o Orders) (rat.Rat, error) {
+	e.build(o, nil, nil)
+	return graphLambda(e.g)
+}
+
+func (e *inOrderEval) list(o Orders) (*oplist.List, error) {
+	return InOrderPeriodWithOrders(e.w, o)
+}
+
+// exceeds prunes a partial assignment when even its relaxed event graph —
+// every edge of which is implied by every completion — admits no period of
+// at most limit: the maximum cycle ratio of each completion is then
+// strictly above limit too. The feasibility check is one longest-path
+// relaxation at limit (no MCR needed), and a relaxed deadlock means every
+// completion deadlocks.
+func (e *inOrderEval) exceeds(o Orders, decidedIn, decidedOut []bool, limit rat.Rat) bool {
+	e.build(o, decidedIn, decidedOut)
+	pi, err := e.g.PotentialsInto(e.pi, limit)
+	if pi != nil {
+		e.pi = pi
+	}
+	return err != nil
+}
+
+// InOrderPeriod searches receive/send orders for the best INORDER period.
+// Exact reports whether the whole order space was covered — flat product
+// scoring replaced by the pruned prefix search of search.go, which
+// preserves the optimum and the returned schedule (the optimum over the
+// INORDER schedule family); the general problem is NP-hard (paper
+// Prop. 3).
+func InOrderPeriod(w *plan.Weighted, opts Options) (Result, error) {
+	res, err := searchOrders(w, opts, func() orderEval { return newInOrderEval(w) })
 	if err != nil {
 		return Result{}, err
 	}
@@ -313,18 +460,155 @@ func OutOrderPeriodWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, er
 	}
 }
 
+// outOrderEval is the OUTORDER order-search evaluator: the value of an
+// assignment is the better of its INORDER period and its pipelined-
+// template period (an INORDER list is always OUTORDER-valid), each an MCR
+// on a reused event graph; OutOrderPeriodWithOrders materializes the
+// winner.
+type outOrderEval struct {
+	ino     *inOrderEval
+	g       *eventgraph.Graph // pipelined-template scratch
+	pi      []rat.Rat
+	gen     []int
+	commGen []int
+	fl      rat.Rat
+}
+
+func newOutOrderEval(w *plan.Weighted) *outOrderEval {
+	e := &outOrderEval{
+		ino: newInOrderEval(w),
+		g:   eventgraph.New(opCount(w)),
+		fl:  w.PeriodLowerBound(plan.OutOrder),
+	}
+	e.gen, e.commGen = generations(w)
+	return e
+}
+
+func (e *outOrderEval) floor() rat.Rat { return e.fl }
+
+// build fills the pipelined scratch graph for a partial assignment. The
+// data-precedence edges (stage-shifted, cf. buildPipelinedGraph) do not
+// depend on the orders and are exact in every completion. Per server, the
+// residue cycle "out-comms, calc (one token before it), in-comms, wrap"
+// contributes its exact edges on decided sides; open sides contribute the
+// constraints every permutation implies: each out-comm reaches the calc
+// through the single wrap token carrying at least its own volume, the
+// calc precedes each in-comm by the computation time, each in-comm
+// reaches the first out-comm tokenlessly with at least its own volume —
+// and the full residue cycle carries one token and total delay Cexec
+// whatever the orders (the calc self-loop).
+func (e *outOrderEval) build(o Orders, decidedIn, decidedOut []bool) {
+	w := e.ino.w
+	g := e.g
+	g.Reset(opCount(w))
+	// Data precedence in shifted time: calc(u) → comm carries no tokens
+	// (same stage); comm → calc(v) carries the stage difference ≥ 1.
+	for ei, ed := range w.Edges() {
+		if ed.From >= 0 {
+			g.AddEdge(calcOp(ed.From), commOp(w, ei), w.Comp(ed.From), 0)
+		}
+		if ed.To >= 0 {
+			g.AddEdge(commOp(w, ei), calcOp(ed.To), w.Vol(ei), e.commGen[ei]-e.gen[ed.To])
+		}
+	}
+	for v := 0; v < w.N(); v++ {
+		calc := calcOp(v)
+		ins, outs := o.In[v], o.Out[v]
+		din := decidedIn == nil || decidedIn[v]
+		dout := decidedOut == nil || decidedOut[v]
+		firstOut := -1
+		if dout {
+			if len(outs) > 0 {
+				firstOut = commOp(w, outs[0])
+				prev := -1
+				for _, ei := range outs {
+					op := commOp(w, ei)
+					if prev >= 0 {
+						g.AddEdge(prev, op, opDur(w, prev), 0)
+					}
+					prev = op
+				}
+				g.AddEdge(prev, calc, opDur(w, prev), 1)
+			}
+		} else {
+			for _, ei := range outs {
+				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 1)
+			}
+		}
+		// wrapTo closes the residue cycle from the last in-side operation
+		// toward the out-comms (token 0) — toward each possible first
+		// out-comm when the out side is open.
+		wrapTo := func(from int, delay rat.Rat) {
+			switch {
+			case firstOut >= 0:
+				g.AddEdge(from, firstOut, delay, 0)
+			case dout: // no out-comms: the residue wraps straight to calc
+				g.AddEdge(from, calc, delay, 0)
+			default:
+				for _, ei := range outs {
+					g.AddEdge(from, commOp(w, ei), delay, 0)
+				}
+			}
+		}
+		if din {
+			prev := calc
+			for _, ei := range ins {
+				op := commOp(w, ei)
+				g.AddEdge(prev, op, opDur(w, prev), 0)
+				prev = op
+			}
+			wrapTo(prev, opDur(w, prev))
+		} else {
+			for _, ei := range ins {
+				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+				wrapTo(commOp(w, ei), w.Vol(ei))
+			}
+		}
+		g.AddEdge(calc, calc, e.ino.cexec[v], 1)
+	}
+}
+
+func (e *outOrderEval) value(o Orders) (rat.Rat, error) {
+	inoVal, inoErr := e.ino.value(o)
+	e.build(o, nil, nil)
+	pipVal, pipErr := graphLambda(e.g)
+	switch {
+	case inoErr != nil && pipErr != nil:
+		return rat.Zero, fmt.Errorf("orchestrate: no OUTORDER schedule for these orders (inorder: %v, pipelined: %v)", inoErr, pipErr)
+	case inoErr != nil:
+		return pipVal, nil
+	case pipErr != nil:
+		return inoVal, nil
+	default:
+		return rat.Min(pipVal, inoVal), nil
+	}
+}
+
+func (e *outOrderEval) list(o Orders) (*oplist.List, error) {
+	return OutOrderPeriodWithOrders(e.ino.w, o)
+}
+
+// exceeds prunes a partial assignment only when BOTH templates rule the
+// limit out: the OUTORDER value is the minimum of the two, so the bound
+// must hold for whichever branch a completion ends up taking.
+func (e *outOrderEval) exceeds(o Orders, decidedIn, decidedOut []bool, limit rat.Rat) bool {
+	if !e.ino.exceeds(o, decidedIn, decidedOut, limit) {
+		return false
+	}
+	e.build(o, decidedIn, decidedOut)
+	pi, err := e.g.PotentialsInto(e.pi, limit)
+	if pi != nil {
+		e.pi = pi
+	}
+	return err != nil
+}
+
 // OutOrderPeriod searches orders for the best OUTORDER period found. The
 // schedule family (per-server pipelined residue orders) does not cover
 // every conceivable OUTORDER schedule, so Exact refers to the family; the
 // general problem is NP-hard (paper Prop. 2).
 func OutOrderPeriod(w *plan.Weighted, opts Options) (Result, error) {
-	res, err := searchOrders(w, opts, func(o Orders) (rat.Rat, *oplist.List, error) {
-		l, err := OutOrderPeriodWithOrders(w, o)
-		if err != nil {
-			return rat.Zero, nil, err
-		}
-		return l.Lambda(), l, nil
-	})
+	res, err := searchOrders(w, opts, func() orderEval { return newOutOrderEval(w) })
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,7 +1,8 @@
 // Package par is the shared parallel-search layer of the repository: a
 // bounded worker pool plus deterministic best-result reduction, used by the
-// exact enumerators and hill-climbing restarts of package solve and by the
-// experiment harness.
+// exact enumerators and hill-climbing restarts of package solve, by the
+// order-search sharding of package orchestrate, and by the experiment
+// harness.
 //
 // Every optimization problem of the paper is NP-hard (Theorems 2 and 4), so
 // the hot paths of this repository are exhaustive enumerations and
@@ -14,7 +15,18 @@
 //     its own state (scratch buffers, seeded RNGs);
 //   - per-shard results are reduced in shard-index order with
 //     strict-improvement comparison, so the winner is the one a serial scan
-//     of the shards would keep, regardless of goroutine interleaving.
+//     of the shards would keep, regardless of goroutine interleaving;
+//   - shard partitions never change the reduced result: shards are
+//     contiguous ranges of the serial scan order, so any partition — the
+//     searches use fixed shard counts when parallel, and the orchestrate
+//     order search collapses to a single shard when serial — reduces to
+//     the same winner the unsharded serial scan would keep.
+//
+// Exactly one layer fans out at a time (one pool, never nested): whoever
+// owns the top level — the experiment harness, a plan-level search, the
+// planning service's intake queue, or an orchestration-level order search
+// running under a serial plan search — runs everything beneath it
+// serially.
 package par
 
 import (

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/big"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -396,6 +397,21 @@ func (r Rat) Den64() (int64, bool) {
 		return r.b.Denom().Int64(), true
 	}
 	return 0, false
+}
+
+// Append appends the String form of r to dst and returns the extended
+// slice. On the int64 fast path it allocates nothing beyond dst's own
+// growth (strconv, no fmt) — key-building hot loops use it.
+func (r Rat) Append(dst []byte) []byte {
+	if n, d, ok := r.small(); ok {
+		dst = strconv.AppendInt(dst, n, 10)
+		if d != 1 {
+			dst = append(dst, '/')
+			dst = strconv.AppendInt(dst, d, 10)
+		}
+		return dst
+	}
+	return append(dst, r.String()...)
 }
 
 // String renders r as "n" for integers and "n/d" otherwise.

@@ -537,6 +537,44 @@ func BenchmarkCmpSmall(b *testing.B) {
 	}
 }
 
+// TestCmpFastPathAllocFree guards the int64 comparison fast path: the
+// order-search bound pruning sits on Cmp (via Less/Greater/Min/Max in the
+// incumbent tests and the longest-path relaxations), so a regression that
+// makes small-small comparisons allocate — e.g. falling back to big() —
+// would tax every pruned prefix. AllocsPerRun pins it to zero, including
+// the 128-bit cross-multiplication overflow path and the zero value.
+func TestCmpFastPathAllocFree(t *testing.T) {
+	pairs := [][2]Rat{
+		{New(23, 3), New(7, 1)},
+		{New(math.MaxInt64-1, 3), New(math.MaxInt64-2, 3)}, // 128-bit cross products
+		{New(-9999, 10000), New(9999, 10000)},
+		{Zero, Rat{}}, // the uninitialized zero value normalizes without allocating
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, p := range pairs {
+			_ = p[0].Cmp(p[1])
+			_ = p[0].Less(p[1])
+			_ = Max(p[0], p[1])
+			_ = Min(p[0], p[1])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("small-small comparisons allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkCmpMixed covers the promotion path (one small, one big
+// operand), which legitimately allocates the temporary big.Rat — the
+// guard above only pins the small-small fast path.
+func BenchmarkCmpMixed(b *testing.B) {
+	x := Two.PowInt(100)
+	y := New(1, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}
+
 func BenchmarkAddBig(b *testing.B) {
 	x := Two.PowInt(100)
 	y := New(1, 3)

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/canon"
+	"repro/internal/orchestrate"
 	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/plancache"
@@ -112,10 +113,13 @@ type Request struct {
 
 // solveOptions builds the solver options of a request. Workers is pinned
 // to 1: the request already runs on a pool worker (one pool, never
-// nested). ctx bounds the search (nil: unbounded) — it can only abort the
-// solve with an error, never change its result, so it is not part of the
-// cache key.
-func (r Request) solveOptions(ctx context.Context) solve.Options {
+// nested). orchWorkers is the worker budget the orchestration layer's
+// order search may borrow — Server.orchWorkers decides when that is safe.
+// ctx bounds the search (nil: unbounded) — it can only abort the solve
+// with an error, never change its result, so neither it nor orchWorkers
+// is part of the cache key (orchestration Results are identical for every
+// worker count).
+func (r Request) solveOptions(ctx context.Context, orchWorkers int) solve.Options {
 	return solve.Options{
 		Method:    r.Method,
 		Family:    r.Family,
@@ -123,6 +127,7 @@ func (r Request) solveOptions(ctx context.Context) solve.Options {
 		Seed:      r.Seed,
 		Restarts:  r.Restarts,
 		Workers:   1,
+		Orch:      orchestrate.Options{Workers: orchWorkers},
 		Ctx:       ctx,
 	}
 }
@@ -235,6 +240,22 @@ type Server struct {
 	driftRequests atomic.Int64
 	rejected      atomic.Int64
 	solves        atomic.Int64
+}
+
+// orchWorkers is the worker budget one inner solve may hand down to the
+// orchestration layer's order search. Inner solves always run plan-level
+// Workers: 1 on their pool worker; on a single-worker server the rest of
+// the machine is idle for the duration of that solve, so the sharded
+// order search of internal/orchestrate borrows the whole CPU budget —
+// still exactly one level of fan-out at any time (one pool, never
+// nested). A wider intake pool serves concurrent requests instead, and
+// orchestration stays serial. Either way the response bytes are
+// identical: orchestration Results do not depend on the worker count.
+func (s *Server) orchWorkers() int {
+	if s.cfg.Workers == 1 {
+		return par.Workers(0)
+	}
+	return 1
 }
 
 // New starts a server: Config.Workers goroutines begin draining the intake
@@ -432,7 +453,7 @@ retry:
 		var solveErr error
 		submitErr := s.submit(ctx, func() {
 			s.solves.Add(1)
-			opts := req.solveOptions(ctx)
+			opts := req.solveOptions(ctx, s.orchWorkers())
 			opts.Incumbent = incumbent
 			if req.Objective == solve.PeriodObjective {
 				sol, solveErr = solve.MinPeriod(inst.App(), req.Model, opts)
@@ -620,7 +641,11 @@ func (s *Server) DriftContext(ctx context.Context, hash string, updates []Update
 	if req.Method == solve.BranchBound {
 		if eg, err := remapGraph(oldInst.App(), newInst.App(), oldResp.Solution.Graph); err == nil {
 			if familyMember(eg, req, newInst.App()) {
-				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions(ctx)); err == nil {
+				// This re-evaluation runs on the request goroutine, off
+				// the intake pool — the pool worker may be mid-solve with
+				// the borrowed orchestration budget, so the budget here is
+				// pinned serial (one layer of fan-out at a time).
+				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions(ctx, 1)); err == nil {
 					v := re.Value
 					incumbent = &v
 					report.WarmStart = true

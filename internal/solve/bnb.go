@@ -372,7 +372,7 @@ func branchBoundChain(app *workflow.App, m plan.Model, obj Objective, opts Optio
 	if err != nil {
 		return Solution{}, err
 	}
-	sched, err := evaluate(eg, m, obj, opts.Orch)
+	sched, err := evaluate(eg, m, obj, opts.orchWide())
 	if err != nil {
 		return Solution{}, err
 	}
@@ -439,7 +439,7 @@ func bnbForestRec(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 		if err != nil {
 			return
 		}
-		sched, err := evaluate(eg, m, obj, opts.Orch)
+		sched, err := evaluate(eg, m, obj, opts)
 		if err != nil {
 			if sh.err == nil {
 				sh.err = err
@@ -553,7 +553,7 @@ func bnbDAGRec(app *workflow.App, m plan.Model, obj Objective, opts Options, inc
 		if err != nil {
 			return // violates precedence constraints
 		}
-		sched, err := evaluate(eg, m, obj, opts.Orch)
+		sched, err := evaluate(eg, m, obj, opts)
 		if err != nil {
 			if sh.err == nil {
 				sh.err = err

@@ -79,7 +79,7 @@ func TestIncrementalFilterNeverSkipsImprovingMoves(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				sched, err := evaluate(eg, m, obj, smallOrch())
+				sched, err := evaluate(eg, m, obj, Options{Orch: smallOrch()})
 				if err != nil {
 					t.Fatal(err)
 				}

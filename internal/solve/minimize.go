@@ -13,13 +13,15 @@ import (
 	"repro/internal/workflow"
 )
 
-// evaluate orchestrates the objective on one candidate execution graph.
-func evaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, orch orchestrate.Options) (orchestrate.Result, error) {
+// evaluate orchestrates the objective on one candidate execution graph,
+// through the solve's orchestration memo when one is set: identical
+// weighted graphs reached anywhere in the search orchestrate once.
+func evaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, opts Options) (orchestrate.Result, error) {
 	w := eg.Weighted()
 	if obj == PeriodObjective {
-		return orchestrate.Period(w, m, orch)
+		return orchestrate.PeriodMemo(opts.Memo, w, m, opts.Orch)
 	}
-	return orchestrate.Latency(w, m, orch)
+	return orchestrate.LatencyMemo(opts.Memo, w, m, opts.Orch)
 }
 
 // MinPeriod solves MINPERIOD for the application under model m.
@@ -40,7 +42,7 @@ func MinLatency(app *workflow.App, m plan.Model, opts Options) (Solution, error)
 // achievable objective to seed the branch-and-bound incumbent with.
 func Reevaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, opts Options) (Solution, error) {
 	opts = opts.withDefaults()
-	sched, err := evaluate(eg, m, obj, opts.Orch)
+	sched, err := evaluate(eg, m, obj, opts.orchWide())
 	if err != nil {
 		return Solution{}, err
 	}
@@ -57,6 +59,15 @@ func minimize(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 	method := opts.Method
 	if method == Auto {
 		method = autoMethod(app, obj, opts)
+	}
+	// The orchestration memo pays exactly where a search revisits
+	// candidate graphs: hill-climb seeds/restarts converging on the same
+	// forests, and branch-and-bound re-reaching the graphs its incumbent
+	// seeding (greedy chain + hill climb, sharing this memo) already
+	// orchestrated. The blind enumerations visit each graph once, so they
+	// stay memo-less unless the caller supplies one.
+	if opts.Memo == nil && !opts.NoMemo && (method == HillClimb || method == BranchBound) {
+		opts.Memo = orchestrate.NewMemo(0)
 	}
 	switch method {
 	case GreedyChain:
@@ -151,7 +162,7 @@ func greedyChainSolution(app *workflow.App, m plan.Model, obj Objective, opts Op
 	if err != nil {
 		return Solution{}, err
 	}
-	sched, err := evaluate(eg, m, obj, opts.Orch)
+	sched, err := evaluate(eg, m, obj, opts.orchWide())
 	if err != nil {
 		return Solution{}, err
 	}
@@ -204,7 +215,7 @@ func exactChain(app *workflow.App, m plan.Model, obj Objective, opts Options) (S
 	if err != nil {
 		return Solution{}, err
 	}
-	sched, err := evaluate(eg, m, obj, opts.Orch)
+	sched, err := evaluate(eg, m, obj, opts.orchWide())
 	if err != nil {
 		return Solution{}, err
 	}
@@ -227,7 +238,7 @@ func exactForest(app *workflow.App, m plan.Model, obj Objective, opts Options) (
 		if err != nil {
 			return
 		}
-		sched, err := evaluate(eg, m, obj, opts.Orch)
+		sched, err := evaluate(eg, m, obj, opts)
 		if err != nil {
 			if r.err == nil {
 				r.err = err
@@ -332,7 +343,7 @@ func exactDAG(app *workflow.App, m plan.Model, obj Objective, opts Options) (Sol
 			if err != nil {
 				return true // violates precedence constraints
 			}
-			sched, err := evaluate(eg, m, obj, opts.Orch)
+			sched, err := evaluate(eg, m, obj, opts)
 			if err != nil {
 				if r.err == nil {
 					r.err = err
@@ -469,7 +480,7 @@ func climbForestFrom(app *workflow.App, m plan.Model, obj Objective, opts Option
 		if err != nil {
 			return Solution{}, err
 		}
-		sched, err := evaluate(eg, m, obj, opts.Orch)
+		sched, err := evaluate(eg, m, obj, opts)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -593,7 +604,7 @@ func climbDAGFrom(app *workflow.App, m plan.Model, obj Objective, opts Options, 
 	n := app.N()
 	evalBuilt := func(eg *plan.ExecGraph) (Solution, error) {
 		budget--
-		sched, err := evaluate(eg, m, obj, opts.Orch)
+		sched, err := evaluate(eg, m, obj, opts)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -677,13 +688,13 @@ func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Optio
 	opts = opts.withDefaults()
 	n := app.N()
 	var best Solution
-	tryInto := func(sol *Solution, eg *plan.ExecGraph) {
+	tryIntoWith := func(sol *Solution, eg *plan.ExecGraph, o Options) {
 		w := eg.Weighted()
-		per, err := orchestrate.Period(w, m, opts.Orch)
+		per, err := orchestrate.PeriodMemo(o.Memo, w, m, o.Orch)
 		if err != nil || per.Value.Greater(periodBound) {
 			return
 		}
-		lat, err := orchestrate.Latency(w, m, opts.Orch)
+		lat, err := orchestrate.LatencyMemo(o.Memo, w, m, o.Orch)
 		if err != nil {
 			return
 		}
@@ -691,14 +702,19 @@ func BiCriteria(app *workflow.App, m plan.Model, periodBound rat.Rat, opts Optio
 			*sol = Solution{Graph: eg, Sched: lat, Value: lat.Value}
 		}
 	}
-	tryGraph := func(eg *plan.ExecGraph) { tryInto(&best, eg) }
+	// The structured-candidate scan below runs on the calling goroutine
+	// with the pool idle, so its orchestrations borrow the solve's worker
+	// budget; the forest enumeration holds the pool itself and keeps its
+	// inner orchestrations serial.
+	wide := opts.orchWide()
+	tryGraph := func(eg *plan.ExecGraph) { tryIntoWith(&best, eg, wide) }
 	if n <= maxN(opts, 6) {
 		// Same sharding as the exact forest solver: each worker scans the
 		// completions of a two-node prefix for the best bound-respecting
 		// latency; the shard winners reduce in serial prefix order.
 		best, _ = reduceShards(forestShards(n, opts.Workers, opts.Ctx, func(parent []int, r *shardResult) {
 			if eg, err := plan.FromGraph(app, forestGraph(parent)); err == nil {
-				tryInto(&r.sol, eg)
+				tryIntoWith(&r.sol, eg, opts)
 			}
 		}))
 	} else {

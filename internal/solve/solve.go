@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/orchestrate"
+	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/rat"
 	"repro/internal/workflow"
@@ -131,6 +132,23 @@ type Options struct {
 	// counters are not: with Workers > 1 the pruning threshold evolves
 	// with goroutine timing. Use Workers: 1 for reproducible counts.
 	Stats *Stats
+	// Memo, when non-nil, is the orchestration memo shared by every
+	// candidate evaluation of this solve: identical weighted candidate
+	// graphs reached from different shards, restarts or search phases
+	// (incumbent seeding included) orchestrate once and share the Result.
+	// When nil, minimize creates one per call for the methods whose
+	// searches revisit graphs by construction — HillClimb and BranchBound
+	// — and leaves the blind exact enumerations memo-less (they visit
+	// every graph exactly once, so a memo is pure key-building overhead).
+	// Orchestration is deterministic for a fixed weighted plan and
+	// options, so a memo hit is bit-identical to recomputing and the
+	// returned Solution never depends on it (pinned by
+	// TestMemoDoesNotChangeSolutions).
+	Memo *orchestrate.Memo
+	// NoMemo disables the per-solve orchestration memo; the determinism
+	// suite uses it to pin memoized and memo-less searches to the
+	// identical Solution.
+	NoMemo bool
 	// Seed drives the randomized restarts of HillClimb.
 	Seed int64
 	// Restarts is the number of random restarts for HillClimb (default 3).
@@ -201,6 +219,28 @@ func (o Options) withDefaults() Options {
 	// requested.
 	if o.Orch.RandomSamples == 0 {
 		o.Orch.RandomSamples = -1
+	}
+	// Same multiplication argument for the exhaustive order-search cap:
+	// the orchestrate-level default (65536, raised by the pruned fast
+	// path) is for single-graph orchestrations; inside a plan search
+	// every candidate pays it, so the inner cap stays at the historical
+	// 4096 unless explicitly requested.
+	if o.Orch.MaxExhaustive == 0 {
+		o.Orch.MaxExhaustive = 4096
+	}
+	return o
+}
+
+// orchWide returns the options for a single-graph orchestration that runs
+// while the plan-level search is not fanned out (the greedy chain, warm
+// restarts, the post-reduction winner of a chain search): the pool is idle
+// at that moment, so the order search borrows the solve's whole worker
+// budget. Everything evaluated INSIDE plan-level shards keeps the zero
+// value — serial orchestration — so the two levels never stack goroutines
+// (one pool, never nested).
+func (o Options) orchWide() Options {
+	if o.Orch.Workers == 0 {
+		o.Orch.Workers = par.Workers(o.Workers)
 	}
 	return o
 }
