@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build bins test test-short test-race bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster
+.PHONY: build bins test test-short test-race test-alloc bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
+
+# Allocation-regression guards on the orchestration inner loop
+# (AllocsPerRun budgets for the patch+bound cycle, repeat bound queries,
+# and the zero-alloc one-port value path). Must run unraced — the guards
+# self-skip under -race because instrumentation inflates the counts.
+test-alloc:
+	$(GO) test -count=1 -run AllocBudget ./internal/orchestrate/
 
 # One pass over every benchmark, including the parallel-vs-serial pairs.
 bench:
@@ -74,4 +81,4 @@ smoke-orch:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzListJSONRoundTrip -fuzztime 30s ./internal/oplist/
 
-check: vet build test-short test-race
+check: vet build test-short test-race test-alloc

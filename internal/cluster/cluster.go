@@ -242,24 +242,20 @@ type planInstanceJSON struct {
 	Instance json.RawMessage `json:"instance"`
 }
 
-// hashOfPlanBody canonicalizes the request body's instance.
-func hashOfPlanBody(body []byte) (string, error) {
+// instanceOfPlanBody canonicalizes the request body's instance.
+func instanceOfPlanBody(body []byte) (*canon.Instance, error) {
 	var doc planInstanceJSON
 	if err := json.Unmarshal(body, &doc); err != nil {
-		return "", fmt.Errorf("cluster: parsing request body: %w", err)
+		return nil, fmt.Errorf("cluster: parsing request body: %w", err)
 	}
 	if len(doc.Instance) == 0 {
-		return "", fmt.Errorf("cluster: request has no instance")
+		return nil, fmt.Errorf("cluster: request has no instance")
 	}
 	app := new(workflow.App)
 	if err := app.UnmarshalJSON(doc.Instance); err != nil {
-		return "", fmt.Errorf("cluster: parsing instance: %w", err)
+		return nil, fmt.Errorf("cluster: parsing instance: %w", err)
 	}
-	inst, err := canon.Canonicalize(app)
-	if err != nil {
-		return "", err
-	}
-	return inst.Hash(), nil
+	return canon.Canonicalize(app)
 }
 
 func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -268,14 +264,20 @@ func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	hash, err := hashOfPlanBody(body)
+	inst, err := instanceOfPlanBody(body)
 	if err != nil {
 		// The local service produces the canonical error answer (and the
 		// canonical status) for malformed requests.
 		rt.serveLocal(w, r, body, "unroutable")
 		return
 	}
-	rt.route(w, r, hash, r.URL.Path, body)
+	// Register the instance as a local drift target even when the plan
+	// forwards to a healthy owner: if that owner later dies, a PATCH
+	// against this hash fails over here and must find its target —
+	// without this, the failover window 404s every drift until the owner
+	// returns.
+	rt.cfg.Local.Register(inst)
+	rt.route(w, r, inst.Hash(), r.URL.Path, body)
 }
 
 // routedResponse captures a forwarded or locally served answer for
@@ -291,11 +293,12 @@ func (rt *Router) routeItem(r *http.Request, body []byte) routedResponse {
 	rec := httptest.NewRecorder()
 	req := r.Clone(r.Context())
 	req.URL.Path = "/v1/plan"
-	hash, err := hashOfPlanBody(body)
+	inst, err := instanceOfPlanBody(body)
 	if err != nil {
 		rt.serveLocal(rec, req, body, "unroutable")
 	} else {
-		rt.route(rec, req, hash, "/v1/plan", body)
+		rt.cfg.Local.Register(inst) // close the failover 404 window (see handlePlan)
+		rt.route(rec, req, inst.Hash(), "/v1/plan", body)
 	}
 	return routedResponse{status: rec.Code, body: rec.Body.Bytes()}
 }

@@ -246,6 +246,77 @@ func TestFailoverToLocalSolve(t *testing.T) {
 	}
 }
 
+// TestPatchAfterFailoverFindsInstance is the regression test for the
+// failover 404 window: a plan forwarded to a healthy owner must register
+// its instance in the router's LOCAL drift registry too, so that a PATCH
+// arriving after the owner dies fails over to the embedded service and
+// finds its target — instead of 404ing until the owner returns.
+func TestPatchAfterFailoverFindsInstance(t *testing.T) {
+	_, gw, replicas := newCluster(t, 2)
+	instance := readTestdata(t, "mixed6.json")
+
+	resp := post(t, gw.URL+"/v1/plan",
+		fmt.Sprintf(`{"instance": %s, "model": "overlap", "objective": "period"}`, instance))
+	owner := resp.Header.Get("X-Filterd-Shard-Owner")
+	var planned struct {
+		Hash  string  `json:"hash"`
+		Value rat.Rat `json:"value"`
+		Graph struct {
+			Services []string `json:"services"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&planned); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if by := resp.Header.Get("X-Filterd-Served-By"); !strings.HasPrefix(by, "http") {
+		t.Fatalf("plan served by %q, want the owner — the test needs the healthy-forward path", by)
+	}
+
+	// Kill the owner: the PATCH below has nowhere to go but the local
+	// failover service, which never solved (or saw) this instance.
+	for _, rep := range replicas {
+		if rep.ts.URL == owner {
+			rep.ts.CloseClientConnections()
+			rep.ts.Close()
+		}
+	}
+
+	patch, err := http.NewRequest(http.MethodPatch, gw.URL+"/v1/instance/"+planned.Hash,
+		strings.NewReader(fmt.Sprintf(`{"model": "overlap", "objective": "period",
+		  "updates": [{"service": %q, "cost": "99"}]}`, planned.Graph.Services[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(presp.Body)
+		t.Fatalf("patch after failover: status %d, body %s — the 404 window is back", presp.StatusCode, body)
+	}
+	if by := presp.Header.Get("X-Filterd-Served-By"); by != "local-failover" {
+		t.Fatalf("patch served by %q, want local-failover", by)
+	}
+	var drift struct {
+		OldValue rat.Rat `json:"old_value"`
+		NewValue rat.Rat `json:"new_value"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&drift); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism across the failover: the local re-solve of the OLD
+	// instance reproduces the owner's objective exactly.
+	if !drift.OldValue.Equal(planned.Value) {
+		t.Errorf("failover drift old value %s != planned value %s", drift.OldValue, planned.Value)
+	}
+	if drift.NewValue.Equal(drift.OldValue) {
+		t.Errorf("drift to cost 99 did not move the objective (%s)", drift.OldValue)
+	}
+}
+
 // TestBatchSpansShards: a batch's items route to their owners and
 // reassemble in order, bad items failing alone.
 func TestBatchSpansShards(t *testing.T) {

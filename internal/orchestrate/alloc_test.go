@@ -1,0 +1,128 @@
+package orchestrate
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rat"
+)
+
+// Allocation-regression guards on the order-search hot path. The budgets
+// are measured steady-state numbers with ~1.5x headroom, not aspirations:
+// the patch+bound cycle legitimately allocates O(segment edges) because
+// rebuilding a server's segment converts its exact delays to float
+// enclosures, but repeat bound queries against an unchanged graph must
+// stay near-free, and the one-port value() scratch reuse from PR 5 must
+// stay exactly zero-alloc. If one of these trips, an inner-loop change
+// started allocating per evaluation instead of per patch.
+
+// allocEvalSetup mirrors runOrderShard's state machine up to "slot 0
+// decided": everything decided except the permutable slots, then the
+// first slot's side flipped to decided so patch(slot0) is the hot cycle.
+func allocEvalSetup(t *testing.T, e orderEval, w interface {
+	N() int
+}, orders Orders) (slot0 int, decIn, decOut []bool) {
+	t.Helper()
+	slots := collectSlots(orders)
+	if len(slots) == 0 {
+		t.Fatal("generated plan has no permutable slots")
+	}
+	decIn = make([]bool, w.N())
+	decOut = make([]bool, w.N())
+	for v := range decIn {
+		decIn[v], decOut[v] = true, true
+	}
+	for _, s := range slots {
+		if s.out {
+			decOut[s.server] = false
+		} else {
+			decIn[s.server] = false
+		}
+	}
+	e.prepare(orders, decIn, decOut, nil)
+	s0 := slots[0]
+	if s0.out {
+		decOut[s0.server] = true
+	} else {
+		decIn[s0.server] = true
+	}
+	return s0.server, decIn, decOut
+}
+
+func TestOrderEvalAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	w := gen.Weighted(gen.NewRand(5), 6, 0.6)
+	cases := []struct {
+		name       string
+		eval       orderEval
+		patchBound float64 // patch + exceedsIncremental cycle
+		value      float64 // value() on full orders
+	}{
+		// Measured: inorder 98/24, outorder 98/87, oneport 222/0.
+		{"inorder", newInOrderEval(w), 150, 50},
+		{"outorder", newOutOrderEval(w), 150, 130},
+		{"oneport", newOnePortEval(w), 330, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orders := DefaultOrders(w)
+			slot0, decIn, decOut := allocEvalSetup(t, tc.eval, w, orders)
+			limit := tc.eval.floor().Mul(rat.New(3, 2))
+			for i := 0; i < 3; i++ {
+				tc.eval.patch(slot0, orders, decIn, decOut)
+				tc.eval.exceedsIncremental(limit)
+			}
+			got := testing.AllocsPerRun(200, func() {
+				tc.eval.patch(slot0, orders, decIn, decOut)
+				tc.eval.exceedsIncremental(limit)
+			})
+			if got > tc.patchBound {
+				t.Errorf("patch+exceedsIncremental: %.2f allocs/run, budget %.0f", got, tc.patchBound)
+			}
+			got = testing.AllocsPerRun(200, func() {
+				if _, err := tc.eval.value(orders); err != nil {
+					t.Fatalf("value: %v", err)
+				}
+			})
+			if got > tc.value {
+				t.Errorf("value: %.2f allocs/run, budget %.0f", got, tc.value)
+			}
+		})
+	}
+}
+
+// TestRepeatBoundAllocBudget pins the repeat-query path: bounding the same
+// decided state again without an intervening patch reuses every cached
+// segment weight, so the only allocations left are the float enclosure of
+// the query limit itself (measured 10-12).
+func TestRepeatBoundAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	w := gen.Weighted(gen.NewRand(5), 6, 0.6)
+	e := newInOrderEval(w)
+	orders := DefaultOrders(w)
+	decIn := make([]bool, w.N())
+	decOut := make([]bool, w.N())
+	e.prepare(orders, decIn, decOut, nil)
+
+	limit := e.floor().Mul(rat.New(3, 2))
+	e.exceedsIncremental(limit)
+	if got := testing.AllocsPerRun(200, func() { e.exceedsIncremental(limit) }); got > 20 {
+		t.Errorf("repeat exceedsIncremental, fixed limit: %.2f allocs/run, budget 20", got)
+	}
+
+	l2 := e.floor().Mul(rat.New(5, 4))
+	e.seg.FeasibleAt(l2)
+	if got := testing.AllocsPerRun(200, func() { e.seg.FeasibleAt(l2) }); got > 20 {
+		t.Errorf("segmented repeat FeasibleAt, same lambda: %.2f allocs/run, budget 20", got)
+	}
+
+	alt := [2]rat.Rat{l2, limit}
+	i := 0
+	if got := testing.AllocsPerRun(200, func() { e.seg.FeasibleAt(alt[i%2]); i++ }); got > 20 {
+		t.Errorf("segmented FeasibleAt, alternating lambda: %.2f allocs/run, budget 20", got)
+	}
+}

@@ -40,14 +40,22 @@ func OnePortLatencyWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, er
 // reused event graph and begin-time buffer; the operation list is only
 // built (by OnePortLatencyWithOrders) for improving candidates.
 type onePortEval struct {
-	w  *plan.Weighted
-	g  *eventgraph.Graph
-	pi []rat.Rat
-	fl rat.Rat
+	w     *plan.Weighted
+	g     *eventgraph.Graph
+	seg   *eventgraph.Segmented // incremental bound graph, one segment per server
+	st    *Stats
+	terms []eventgraph.LatencyTerm // latency score terms: comm-op end times
+	pi    []rat.Rat
+	fl    rat.Rat
 }
 
 func newOnePortEval(w *plan.Weighted) orderEval {
-	return &onePortEval{w: w, g: eventgraph.New(opCount(w)), fl: w.LatencyPathBound()}
+	e := &onePortEval{w: w, g: eventgraph.New(opCount(w)), fl: w.LatencyPathBound()}
+	e.terms = make([]eventgraph.LatencyTerm, len(w.Edges()))
+	for ei := range w.Edges() {
+		e.terms[ei] = eventgraph.LatencyTerm{Node: commOp(w, ei), Add: w.Vol(ei)}
+	}
+	return e
 }
 
 func (e *onePortEval) floor() rat.Rat { return e.fl }
@@ -59,41 +67,93 @@ func (e *onePortEval) floor() rat.Rat { return e.fl }
 // the computation time). With all sides decided the graph is exactly the
 // one OnePortLatencyWithOrders solves.
 func (e *onePortEval) build(o Orders, decidedIn, decidedOut []bool) {
+	e.g.Reset(opCount(e.w))
+	for v := 0; v < e.w.N(); v++ {
+		din := decidedIn == nil || decidedIn[v]
+		dout := decidedOut == nil || decidedOut[v]
+		e.serverEdges(e.g, v, o, din, dout)
+	}
+}
+
+// serverEdges emits server v's one-port precedence constraints (see build)
+// into sink.
+func (e *onePortEval) serverEdges(sink edgeSink, v int, o Orders, din, dout bool) {
 	w := e.w
-	g := e.g
-	g.Reset(opCount(w))
-	for v := 0; v < w.N(); v++ {
-		calc := calcOp(v)
-		if decidedIn == nil || decidedIn[v] {
-			prev := -1
-			for _, ei := range o.In[v] {
-				op := commOp(w, ei)
-				if prev >= 0 {
-					g.AddEdge(prev, op, opDur(w, prev), 0)
-				}
-				prev = op
-			}
+	calc := calcOp(v)
+	if din {
+		prev := -1
+		for _, ei := range o.In[v] {
+			op := commOp(w, ei)
 			if prev >= 0 {
-				g.AddEdge(prev, calc, opDur(w, prev), 0)
+				sink.AddEdge(prev, op, opDur(w, prev), 0)
 			}
-		} else {
-			for _, ei := range o.In[v] {
-				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
-			}
+			prev = op
 		}
-		if decidedOut == nil || decidedOut[v] {
-			prev := calc
-			for _, ei := range o.Out[v] {
-				op := commOp(w, ei)
-				g.AddEdge(prev, op, opDur(w, prev), 0)
-				prev = op
-			}
-		} else {
-			for _, ei := range o.Out[v] {
-				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
-			}
+		if prev >= 0 {
+			sink.AddEdge(prev, calc, opDur(w, prev), 0)
+		}
+	} else {
+		for _, ei := range o.In[v] {
+			sink.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
 		}
 	}
+	if dout {
+		prev := calc
+		for _, ei := range o.Out[v] {
+			op := commOp(w, ei)
+			sink.AddEdge(prev, op, opDur(w, prev), 0)
+			prev = op
+		}
+	} else {
+		for _, ei := range o.Out[v] {
+			sink.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+		}
+	}
+}
+
+// prepare builds the segmented bound graph — one segment per server — for
+// the current decided state; patch rebuilds one server's segment in place.
+func (e *onePortEval) prepare(o Orders, decidedIn, decidedOut []bool, st *Stats) {
+	e.st = st
+	if e.seg == nil {
+		e.seg = eventgraph.NewSegmented(opCount(e.w), e.w.N())
+	} else {
+		e.seg.Reset(opCount(e.w), e.w.N())
+	}
+	before := e.seg.EdgesBuilt()
+	for v := 0; v < e.w.N(); v++ {
+		e.seg.BeginSegment(v)
+		e.serverEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	}
+	if st != nil {
+		st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+func (e *onePortEval) patch(v int, o Orders, decidedIn, decidedOut []bool) {
+	before := e.seg.EdgesBuilt()
+	e.seg.BeginSegment(v)
+	e.serverEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	if e.st != nil {
+		e.st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+// exceedsIncremental answers exceeds against the patched graph through the
+// certified float pre-filter: LatencyExceeds decides "relaxed latency
+// strictly above limit or deadlocked" with interval endpoints first, exact
+// arithmetic only when they cannot separate.
+func (e *onePortEval) exceedsIncremental(limit rat.Rat) bool {
+	exceeds, fellBack := e.seg.LatencyExceeds(rat.One, limit, e.terms)
+	if e.st != nil {
+		e.st.BoundEdgesFlat += int64(e.seg.TotalEdges())
+		if fellBack {
+			e.st.FilterFallback++
+		} else {
+			e.st.FilterCertified++
+		}
+	}
+	return exceeds
 }
 
 // latency runs the longest-path relaxation on the current scratch graph

@@ -1,99 +1,139 @@
 package orchestrate
 
-// Solve-level orchestration memoization.
+// Solve-level and service-wide orchestration memoization.
 //
 // Plan-level searches reach the same weighted candidate graph many times —
 // hill-climb restarts revisit forests, branch-and-bound re-evaluates the
 // graphs its incumbent seeding already orchestrated, different shards meet
-// at symmetric candidates. Orchestration is deterministic for a fixed
-// weighted plan and options (every worker count returns the bit-identical
-// Result), so a fingerprint-keyed memo can return the first computation's
-// Result for all of them without touching the determinism invariant: a hit
-// is indistinguishable from recomputing.
+// at symmetric candidates — and a long-running service sees the same
+// subgraphs across requests that share structure. Orchestration is
+// deterministic for a fixed weighted plan and options (every worker count
+// returns the bit-identical Result), so a fingerprint-keyed memo can return
+// the first computation's Result for all of them without touching the
+// determinism invariant: a hit is indistinguishable from recomputing.
 //
 // The key serializes the problem exactly — no hashing, so collisions are
 // impossible: objective kind, model, the Options fields that can change
 // the Result (Workers and Stats are deliberately excluded), and the full
 // weighted plan including names (bottleneck labels mention them).
+//
+// The memo is a bounded LRU (least-recently-used completed entry evicted
+// first), not an insert-until-full map: a per-solve memo never notices the
+// difference, but a service-wide memo lives for days and must keep the
+// subgraphs current requests actually share rather than whatever the first
+// 4096 solves happened to touch.
 
 import (
+	"container/list"
 	"fmt"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/plan"
 )
 
-// Memo caches orchestration Results across the candidate evaluations of
-// one plan-level solve. It is safe for concurrent use; entries are
-// immutable once stored (callers must not mutate a memoized Result's
-// operation list — schedules are read-only after construction throughout
-// this repository). Errors are cached too: an infeasible weighted plan is
-// infeasible on every shard.
+// Memo caches orchestration Results across candidate evaluations — of one
+// plan-level solve, or of every solve in a service when shared wider. It
+// is safe for concurrent use; entries are immutable once stored (callers
+// must not mutate a memoized Result's operation list — schedules are
+// read-only after construction throughout this repository). Errors are
+// cached too: an infeasible weighted plan is infeasible on every shard and
+// in every request.
 type Memo struct {
-	mu      sync.Mutex
-	entries map[string]memoEntry
-	max     int
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu        sync.Mutex
+	entries   map[string]*memoEntry
+	lru       *list.List // *memoEntry, most recently used at the front
+	max       int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type memoEntry struct {
-	res Result
-	err error
+	key  string
+	res  Result
+	err  error
+	elem *list.Element
 }
 
 // defaultMemoEntries bounds a zero-configured memo. A solve call touches
 // at most its evaluation budget's worth of distinct graphs, so this is
-// generous; beyond it the memo stops inserting (lookups stay correct,
-// extra evaluations just recompute).
+// generous; a service-wide memo under steady load converges to its hottest
+// working set instead.
 const defaultMemoEntries = 4096
 
 // NewMemo returns a memo holding at most max entries (max <= 0: a default
-// of 4096).
+// of 4096), evicting least-recently-used first.
 func NewMemo(max int) *Memo {
 	if max <= 0 {
 		max = defaultMemoEntries
 	}
-	return &Memo{entries: make(map[string]memoEntry), max: max}
+	return &Memo{entries: make(map[string]*memoEntry), lru: list.New(), max: max}
 }
 
-// lookup returns the cached outcome for key.
+// lookup returns the cached outcome for key, refreshing its recency.
 func (m *Memo) lookup(key string) (Result, error, bool) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	e, ok := m.entries[key]
-	m.mu.Unlock()
-	if ok {
-		m.hits.Add(1)
-	} else {
-		m.misses.Add(1)
+	if !ok {
+		m.misses++
+		return Result{}, nil, false
 	}
-	return e.res, e.err, ok
+	m.hits++
+	m.lru.MoveToFront(e.elem)
+	return e.res, e.err, true
 }
 
-// store records an outcome, first writer wins; a full memo drops the
-// insert (never an entry).
+// store records an outcome, first writer wins (concurrent solvers of the
+// same key computed the bit-identical Result, so which one lands is
+// immaterial; keeping the first preserves its recency position). The
+// least-recently-used entry is evicted when the memo is over capacity.
 func (m *Memo) store(key string, res Result, err error) {
 	m.mu.Lock()
-	if _, ok := m.entries[key]; !ok && len(m.entries) < m.max {
-		m.entries[key] = memoEntry{res: res, err: err}
+	defer m.mu.Unlock()
+	if _, ok := m.entries[key]; ok {
+		return
 	}
-	m.mu.Unlock()
+	e := &memoEntry{key: key, res: res, err: err}
+	e.elem = m.lru.PushFront(e)
+	m.entries[key] = e
+	for m.lru.Len() > m.max {
+		oldest := m.lru.Back()
+		ev := oldest.Value.(*memoEntry)
+		m.lru.Remove(oldest)
+		delete(m.entries, ev.key)
+		m.evictions++
+	}
 }
 
 // Hits returns the number of lookups served from the memo.
-func (m *Memo) Hits() int64 { return m.hits.Load() }
+func (m *Memo) Hits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits
+}
 
 // Misses returns the number of lookups that fell through to a fresh
 // orchestration.
-func (m *Memo) Misses() int64 { return m.misses.Load() }
+func (m *Memo) Misses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.misses
+}
+
+// Evictions returns the number of entries dropped by the capacity bound.
+func (m *Memo) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
 
 // Len returns the number of cached outcomes.
 func (m *Memo) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.entries)
+	return m.lru.Len()
 }
 
 // memoKey serializes one orchestration problem exactly. kind distinguishes
@@ -165,5 +205,7 @@ func LatencyMemo(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Resu
 
 // String renders the memo counters for stats reporting.
 func (m *Memo) String() string {
-	return fmt.Sprintf("memo{hits: %d, misses: %d, entries: %d}", m.Hits(), m.Misses(), m.Len())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("memo{hits: %d, misses: %d, entries: %d, evictions: %d}", m.hits, m.misses, m.lru.Len(), m.evictions)
 }

@@ -192,6 +192,14 @@ func graphLambda(g *eventgraph.Graph) (rat.Rat, error) {
 	}
 }
 
+// edgeSink receives the constraint edges an evaluator emits; satisfied by
+// both the flat *eventgraph.Graph and the incremental *eventgraph.Segmented
+// (after BeginSegment), so one per-server emitter feeds both the
+// from-scratch build and the one-segment patch.
+type edgeSink interface {
+	AddEdge(from, to int, delay rat.Rat, tokens int)
+}
+
 // inOrderEval is the INORDER order-search evaluator: the value of an
 // assignment is the maximum cycle ratio of its event graph, computed on a
 // reused graph; the full operation list (potentials + validation) is built
@@ -199,6 +207,8 @@ func graphLambda(g *eventgraph.Graph) (rat.Rat, error) {
 type inOrderEval struct {
 	w     *plan.Weighted
 	g     *eventgraph.Graph
+	seg   *eventgraph.Segmented // incremental bound graph, one segment per server
+	st    *Stats
 	pi    []rat.Rat
 	cexec []rat.Rat // per-server one-port execution time (Cin+comp+Cout)
 	fl    rat.Rat
@@ -235,69 +245,119 @@ func (e *inOrderEval) floor() rat.Rat { return e.fl }
 //     whatever the orders — the calc self-loop keeps that per-server floor
 //     in every partial graph.
 func (e *inOrderEval) build(o Orders, decidedIn, decidedOut []bool) {
-	w := e.w
-	g := e.g
-	g.Reset(opCount(w))
-	for v := 0; v < w.N(); v++ {
-		calc := calcOp(v)
-		ins, outs := o.In[v], o.Out[v]
+	e.g.Reset(opCount(e.w))
+	for v := 0; v < e.w.N(); v++ {
 		din := decidedIn == nil || decidedIn[v]
 		dout := decidedOut == nil || decidedOut[v]
-		first := calc
-		if din {
-			prev := -1
-			for _, ei := range ins {
-				op := commOp(w, ei)
-				if prev >= 0 {
-					g.AddEdge(prev, op, opDur(w, prev), 0)
-				}
-				prev = op
-			}
-			if prev >= 0 {
-				g.AddEdge(prev, calc, opDur(w, prev), 0)
-				first = commOp(w, ins[0])
-			}
-		} else {
-			for _, ei := range ins {
-				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
-			}
-		}
-		last := calc
-		if dout {
-			prev := calc
-			for _, ei := range outs {
-				op := commOp(w, ei)
-				g.AddEdge(prev, op, opDur(w, prev), 0)
-				prev = op
-			}
-			last = prev
-		} else {
-			for _, ei := range outs {
-				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
-			}
-		}
-		// Wrap edges (one token): every possible last op to every possible
-		// first op of the next data set.
-		switch {
-		case dout && din:
-			g.AddEdge(last, first, opDur(w, last), 1)
-		case dout:
-			for _, fi := range ins {
-				g.AddEdge(last, commOp(w, fi), opDur(w, last), 1)
-			}
-		case din:
-			for _, li := range outs {
-				g.AddEdge(commOp(w, li), first, w.Vol(li), 1)
-			}
-		default:
-			for _, li := range outs {
-				for _, fi := range ins {
-					g.AddEdge(commOp(w, li), commOp(w, fi), w.Vol(li), 1)
-				}
-			}
-		}
-		g.AddEdge(calc, calc, e.cexec[v], 1)
+		e.serverEdges(e.g, v, o, din, dout)
 	}
+}
+
+// serverEdges emits server v's INORDER constraints (see build) into sink.
+func (e *inOrderEval) serverEdges(sink edgeSink, v int, o Orders, din, dout bool) {
+	w := e.w
+	calc := calcOp(v)
+	ins, outs := o.In[v], o.Out[v]
+	first := calc
+	if din {
+		prev := -1
+		for _, ei := range ins {
+			op := commOp(w, ei)
+			if prev >= 0 {
+				sink.AddEdge(prev, op, opDur(w, prev), 0)
+			}
+			prev = op
+		}
+		if prev >= 0 {
+			sink.AddEdge(prev, calc, opDur(w, prev), 0)
+			first = commOp(w, ins[0])
+		}
+	} else {
+		for _, ei := range ins {
+			sink.AddEdge(commOp(w, ei), calc, w.Vol(ei), 0)
+		}
+	}
+	last := calc
+	if dout {
+		prev := calc
+		for _, ei := range outs {
+			op := commOp(w, ei)
+			sink.AddEdge(prev, op, opDur(w, prev), 0)
+			prev = op
+		}
+		last = prev
+	} else {
+		for _, ei := range outs {
+			sink.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+		}
+	}
+	// Wrap edges (one token): every possible last op to every possible
+	// first op of the next data set.
+	switch {
+	case dout && din:
+		sink.AddEdge(last, first, opDur(w, last), 1)
+	case dout:
+		for _, fi := range ins {
+			sink.AddEdge(last, commOp(w, fi), opDur(w, last), 1)
+		}
+	case din:
+		for _, li := range outs {
+			sink.AddEdge(commOp(w, li), first, w.Vol(li), 1)
+		}
+	default:
+		for _, li := range outs {
+			for _, fi := range ins {
+				sink.AddEdge(commOp(w, li), commOp(w, fi), w.Vol(li), 1)
+			}
+		}
+	}
+	sink.AddEdge(calc, calc, e.cexec[v], 1)
+}
+
+// prepare builds the segmented bound graph — one segment per server — for
+// the current decided state; patch rebuilds one server's segment in place.
+func (e *inOrderEval) prepare(o Orders, decidedIn, decidedOut []bool, st *Stats) {
+	e.st = st
+	if e.seg == nil {
+		e.seg = eventgraph.NewSegmented(opCount(e.w), e.w.N())
+	} else {
+		e.seg.Reset(opCount(e.w), e.w.N())
+	}
+	before := e.seg.EdgesBuilt()
+	for v := 0; v < e.w.N(); v++ {
+		e.seg.BeginSegment(v)
+		e.serverEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	}
+	if st != nil {
+		st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+func (e *inOrderEval) patch(v int, o Orders, decidedIn, decidedOut []bool) {
+	before := e.seg.EdgesBuilt()
+	e.seg.BeginSegment(v)
+	e.serverEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	if e.st != nil {
+		e.st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+// exceedsIncremental answers exceeds against the patched graph, certified
+// float pre-filter first. It never prunes where exceeds would not: the
+// segmented relaxation decides feasibility identically except for the
+// zero-token deadlock pre-check, whose absence only reports feasible more
+// often (a weaker, still admissible bound).
+func (e *inOrderEval) exceedsIncremental(limit rat.Rat) bool {
+	feasible, fellBack := e.seg.FeasibleAt(limit)
+	if e.st != nil {
+		e.st.BoundEdgesFlat += int64(e.seg.TotalEdges())
+		if fellBack {
+			e.st.FilterFallback++
+		} else {
+			e.st.FilterCertified++
+		}
+	}
+	return !feasible
 }
 
 func (e *inOrderEval) value(o Orders) (rat.Rat, error) {
@@ -467,7 +527,9 @@ func OutOrderPeriodWithOrders(w *plan.Weighted, orders Orders) (*oplist.List, er
 // winner.
 type outOrderEval struct {
 	ino     *inOrderEval
-	g       *eventgraph.Graph // pipelined-template scratch
+	g       *eventgraph.Graph     // pipelined-template scratch
+	seg     *eventgraph.Segmented // incremental bound graph: per-server + static segment
+	st      *Stats
 	pi      []rat.Rat
 	gen     []int
 	commGen []int
@@ -499,73 +561,136 @@ func (e *outOrderEval) floor() rat.Rat { return e.fl }
 // whatever the orders (the calc self-loop).
 func (e *outOrderEval) build(o Orders, decidedIn, decidedOut []bool) {
 	w := e.ino.w
-	g := e.g
-	g.Reset(opCount(w))
-	// Data precedence in shifted time: calc(u) → comm carries no tokens
-	// (same stage); comm → calc(v) carries the stage difference ≥ 1.
-	for ei, ed := range w.Edges() {
-		if ed.From >= 0 {
-			g.AddEdge(calcOp(ed.From), commOp(w, ei), w.Comp(ed.From), 0)
-		}
-		if ed.To >= 0 {
-			g.AddEdge(commOp(w, ei), calcOp(ed.To), w.Vol(ei), e.commGen[ei]-e.gen[ed.To])
-		}
-	}
+	e.g.Reset(opCount(w))
+	e.staticEdges(e.g)
 	for v := 0; v < w.N(); v++ {
-		calc := calcOp(v)
-		ins, outs := o.In[v], o.Out[v]
 		din := decidedIn == nil || decidedIn[v]
 		dout := decidedOut == nil || decidedOut[v]
-		firstOut := -1
-		if dout {
-			if len(outs) > 0 {
-				firstOut = commOp(w, outs[0])
-				prev := -1
-				for _, ei := range outs {
-					op := commOp(w, ei)
-					if prev >= 0 {
-						g.AddEdge(prev, op, opDur(w, prev), 0)
-					}
-					prev = op
-				}
-				g.AddEdge(prev, calc, opDur(w, prev), 1)
-			}
-		} else {
+		e.residueEdges(e.g, v, o, din, dout)
+	}
+}
+
+// staticEdges emits the order-independent data-precedence edges in shifted
+// time: calc(u) → comm carries no tokens (same stage); comm → calc(v)
+// carries the stage difference ≥ 1.
+func (e *outOrderEval) staticEdges(sink edgeSink) {
+	w := e.ino.w
+	for ei, ed := range w.Edges() {
+		if ed.From >= 0 {
+			sink.AddEdge(calcOp(ed.From), commOp(w, ei), w.Comp(ed.From), 0)
+		}
+		if ed.To >= 0 {
+			sink.AddEdge(commOp(w, ei), calcOp(ed.To), w.Vol(ei), e.commGen[ei]-e.gen[ed.To])
+		}
+	}
+}
+
+// residueEdges emits server v's residue-cycle constraints (see build).
+func (e *outOrderEval) residueEdges(sink edgeSink, v int, o Orders, din, dout bool) {
+	w := e.ino.w
+	calc := calcOp(v)
+	ins, outs := o.In[v], o.Out[v]
+	firstOut := -1
+	if dout {
+		if len(outs) > 0 {
+			firstOut = commOp(w, outs[0])
+			prev := -1
 			for _, ei := range outs {
-				g.AddEdge(commOp(w, ei), calc, w.Vol(ei), 1)
-			}
-		}
-		// wrapTo closes the residue cycle from the last in-side operation
-		// toward the out-comms (token 0) — toward each possible first
-		// out-comm when the out side is open.
-		wrapTo := func(from int, delay rat.Rat) {
-			switch {
-			case firstOut >= 0:
-				g.AddEdge(from, firstOut, delay, 0)
-			case dout: // no out-comms: the residue wraps straight to calc
-				g.AddEdge(from, calc, delay, 0)
-			default:
-				for _, ei := range outs {
-					g.AddEdge(from, commOp(w, ei), delay, 0)
-				}
-			}
-		}
-		if din {
-			prev := calc
-			for _, ei := range ins {
 				op := commOp(w, ei)
-				g.AddEdge(prev, op, opDur(w, prev), 0)
+				if prev >= 0 {
+					sink.AddEdge(prev, op, opDur(w, prev), 0)
+				}
 				prev = op
 			}
-			wrapTo(prev, opDur(w, prev))
-		} else {
-			for _, ei := range ins {
-				g.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
-				wrapTo(commOp(w, ei), w.Vol(ei))
+			sink.AddEdge(prev, calc, opDur(w, prev), 1)
+		}
+	} else {
+		for _, ei := range outs {
+			sink.AddEdge(commOp(w, ei), calc, w.Vol(ei), 1)
+		}
+	}
+	// wrapTo closes the residue cycle from the last in-side operation
+	// toward the out-comms (token 0) — toward each possible first
+	// out-comm when the out side is open.
+	wrapTo := func(from int, delay rat.Rat) {
+		switch {
+		case firstOut >= 0:
+			sink.AddEdge(from, firstOut, delay, 0)
+		case dout: // no out-comms: the residue wraps straight to calc
+			sink.AddEdge(from, calc, delay, 0)
+		default:
+			for _, ei := range outs {
+				sink.AddEdge(from, commOp(w, ei), delay, 0)
 			}
 		}
-		g.AddEdge(calc, calc, e.ino.cexec[v], 1)
 	}
+	if din {
+		prev := calc
+		for _, ei := range ins {
+			op := commOp(w, ei)
+			sink.AddEdge(prev, op, opDur(w, prev), 0)
+			prev = op
+		}
+		wrapTo(prev, opDur(w, prev))
+	} else {
+		for _, ei := range ins {
+			sink.AddEdge(calc, commOp(w, ei), w.Comp(v), 0)
+			wrapTo(commOp(w, ei), w.Vol(ei))
+		}
+	}
+	sink.AddEdge(calc, calc, e.ino.cexec[v], 1)
+}
+
+// prepare/patch/exceedsIncremental: the OUTORDER bound needs BOTH templates
+// infeasible (value is their minimum), so the evaluator drives two
+// segmented graphs — the embedded INORDER one and its own pipelined one,
+// whose segment w.N() holds the static data-precedence edges built once per
+// prepare.
+func (e *outOrderEval) prepare(o Orders, decidedIn, decidedOut []bool, st *Stats) {
+	e.ino.prepare(o, decidedIn, decidedOut, st)
+	w := e.ino.w
+	e.st = st
+	if e.seg == nil {
+		e.seg = eventgraph.NewSegmented(opCount(w), w.N()+1)
+	} else {
+		e.seg.Reset(opCount(w), w.N()+1)
+	}
+	before := e.seg.EdgesBuilt()
+	e.seg.BeginSegment(w.N())
+	e.staticEdges(e.seg)
+	for v := 0; v < w.N(); v++ {
+		e.seg.BeginSegment(v)
+		e.residueEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	}
+	if st != nil {
+		st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+func (e *outOrderEval) patch(v int, o Orders, decidedIn, decidedOut []bool) {
+	e.ino.patch(v, o, decidedIn, decidedOut)
+	before := e.seg.EdgesBuilt()
+	e.seg.BeginSegment(v)
+	e.residueEdges(e.seg, v, o, decidedIn[v], decidedOut[v])
+	if e.st != nil {
+		e.st.BoundEdgesBuilt += e.seg.EdgesBuilt() - before
+	}
+}
+
+func (e *outOrderEval) exceedsIncremental(limit rat.Rat) bool {
+	if !e.ino.exceedsIncremental(limit) {
+		return false
+	}
+	feasible, fellBack := e.seg.FeasibleAt(limit)
+	if e.st != nil {
+		e.st.BoundEdgesFlat += int64(e.seg.TotalEdges())
+		if fellBack {
+			e.st.FilterFallback++
+		} else {
+			e.st.FilterCertified++
+		}
+	}
+	return !feasible
 }
 
 func (e *outOrderEval) value(o Orders) (rat.Rat, error) {

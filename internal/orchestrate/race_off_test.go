@@ -1,0 +1,5 @@
+//go:build !race
+
+package orchestrate
+
+const raceEnabled = false

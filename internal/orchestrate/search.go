@@ -40,6 +40,7 @@ package orchestrate
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -59,12 +60,28 @@ type Stats struct {
 	// Evaluated counts complete order assignments scored — the number the
 	// flat product enumeration would drive to OrderCombinations.
 	Evaluated int64
+	// BoundEdgesBuilt counts relaxed-graph edges actually constructed by the
+	// incremental bound path (full prepares plus one-segment patches);
+	// BoundEdgesFlat what from-scratch rebuilds would have constructed
+	// (current edge total × bound evaluations). Their ratio is the rebuild
+	// work the patching avoids (experiment E19).
+	BoundEdgesBuilt int64
+	BoundEdgesFlat  int64
+	// FilterCertified counts bound feasibility queries decided by the
+	// certified float pre-filter alone; FilterFallback those that fell back
+	// to exact rational arithmetic.
+	FilterCertified int64
+	FilterFallback  int64
 }
 
 func (s *Stats) add(o Stats) {
 	s.Prefixes += o.Prefixes
 	s.Pruned += o.Pruned
 	s.Evaluated += o.Evaluated
+	s.BoundEdgesBuilt += o.BoundEdgesBuilt
+	s.BoundEdgesFlat += o.BoundEdgesFlat
+	s.FilterCertified += o.FilterCertified
+	s.FilterFallback += o.FilterFallback
 }
 
 // orderEval is the model-specific machinery of the order search, one
@@ -84,6 +101,17 @@ type orderEval interface {
 	list(o Orders) (*oplist.List, error)
 	exceeds(o Orders, decidedIn, decidedOut []bool, limit rat.Rat) bool
 	floor() rat.Rat
+
+	// Incremental bound protocol. prepare builds the segmented relaxed
+	// graph for the current decided state (once per shard); patch rebuilds
+	// exactly server v's segment after its decided flags or side contents
+	// changed; exceedsIncremental answers the same admissible question as
+	// exceeds against the prepared+patched graph, running the certified
+	// float pre-filter before exact arithmetic. st (may be nil) receives
+	// the filter and rebuild-work counters.
+	prepare(o Orders, decidedIn, decidedOut []bool, st *Stats)
+	patch(server int, o Orders, decidedIn, decidedOut []bool)
+	exceedsIncremental(limit rat.Rat) bool
 }
 
 // searchIncumbent is the shared pruning threshold of one exhaustive order
@@ -117,11 +145,14 @@ func (in *searchIncumbent) load(gen *uint64, ok *bool, val *rat.Rat) {
 }
 
 // slotRef is one permutable server side; side aliases the search Orders'
-// slice, so permuting it permutes the orders in place.
+// slice, so permuting it permutes the orders in place. nat is the slot's
+// index in the natural (forEachOrders) enumeration order, the anchor of
+// the rank tie-break after most-constrained-first reordering.
 type slotRef struct {
 	server int
 	out    bool
 	side   []int
+	nat    int
 }
 
 // collectSlots lists the permutable sides of o in the enumeration order of
@@ -131,13 +162,141 @@ func collectSlots(o Orders) []slotRef {
 	var slots []slotRef
 	for v := range o.In {
 		if len(o.In[v]) > 1 {
-			slots = append(slots, slotRef{server: v, out: false, side: o.In[v]})
+			slots = append(slots, slotRef{server: v, out: false, side: o.In[v], nat: len(slots)})
 		}
 		if len(o.Out[v]) > 1 {
-			slots = append(slots, slotRef{server: v, out: true, side: o.Out[v]})
+			slots = append(slots, slotRef{server: v, out: true, side: o.Out[v], nat: len(slots)})
 		}
 	}
 	return slots
+}
+
+// sortSlots reorders the decision nesting most-constrained-first: the
+// largest sides outermost, so the admissible bound sees the most committed
+// exact chains earliest and one successful prune cuts the biggest subtree.
+// The sort is stable on the natural order and reports whether anything
+// moved — the unmoved case keeps the PR 5 fast path (floor early-exit,
+// rank-free shard-order reduction) verbatim.
+func sortSlots(slots []slotRef) bool {
+	sort.SliceStable(slots, func(a, b int) bool {
+		return len(slots[a].side) > len(slots[b].side)
+	})
+	for i := range slots {
+		if slots[i].nat != i {
+			return true
+		}
+	}
+	return false
+}
+
+// reorderMinCombos gates the most-constrained-first nesting by order-space
+// size. Reordering trades the natural nesting's floor early-exit (stop at
+// the first floor-achieving leaf — serial order makes it the canonical
+// winner) for earlier bound prunes plus rank bookkeeping; on small spaces
+// the bound fires too low to recoup that, and the solve-suite instances
+// measurably regress. Above the threshold one outermost prune removes
+// (combos / |side₀|!) leaves and the trade wins.
+const reorderMinCombos = 1024
+
+// shouldReorder reports whether runOrderShard nests the slots
+// most-constrained-first. A pure function of the static slot sizes, so the
+// shard-prefix layout and every shard agree without coordination. It never
+// mutates slots.
+func shouldReorder(slots []slotRef) bool {
+	outOfOrder := false
+	for i := 0; i+1 < len(slots); i++ {
+		if len(slots[i+1].side) > len(slots[i].side) {
+			outOfOrder = true
+			break
+		}
+	}
+	if !outOfOrder {
+		return false
+	}
+	combos := int64(1)
+	for i := range slots {
+		combos *= fact64(len(slots[i].side))
+		if combos >= reorderMinCombos {
+			return true
+		}
+	}
+	return false
+}
+
+// slotRanker assigns every complete assignment its serial rank in the
+// NATURAL enumeration order. With the slots reordered, the first candidate
+// reached at the final value is no longer the one the flat serial scan
+// keeps — the rank restores it: among equal-valued candidates the search
+// keeps the minimum natural rank, which is exactly the serial-first
+// achiever, so Results stay bit-identical to the natural nesting.
+type slotRanker struct {
+	natural [][]int // natural side contents, indexed by natural slot index
+	weight  []int64 // Π of factorials of later slots, natural order
+	work    []int   // permRank scratch
+}
+
+// newSlotRanker snapshots the sides; the slots must still hold their
+// natural contents and order (call before sortSlots and prefix application).
+func newSlotRanker(slots []slotRef) *slotRanker {
+	r := &slotRanker{
+		natural: make([][]int, len(slots)),
+		weight:  make([]int64, len(slots)),
+	}
+	w := int64(1)
+	maxSide := 0
+	for i := len(slots) - 1; i >= 0; i-- {
+		r.natural[i] = append([]int(nil), slots[i].side...)
+		r.weight[i] = w
+		w *= fact64(len(slots[i].side))
+		if len(slots[i].side) > maxSide {
+			maxSide = len(slots[i].side)
+		}
+	}
+	r.work = make([]int, maxSide)
+	return r
+}
+
+// rank returns the natural serial rank of the assignment the slots
+// currently hold: mixed radix over the slots in natural order, each digit
+// the side's position in permute's swap enumeration. The total fits int64:
+// the product of all side factorials is the combination count, which passed
+// the MaxExhaustive gate.
+func (r *slotRanker) rank(slots []slotRef) int64 {
+	total := int64(0)
+	for i := range slots {
+		total += r.weight[slots[i].nat] * permRank(r.natural[slots[i].nat], slots[i].side, r.work)
+	}
+	return total
+}
+
+// permRank is the 0-based position of target within permute's enumeration
+// of natural: at step k permute swaps position k with each i ≥ k in turn,
+// so the digit of step k is where target[k] sits in the working array,
+// weighted by (m-1-k)!.
+func permRank(natural, target, work []int) int64 {
+	m := len(natural)
+	work = work[:m]
+	copy(work, natural)
+	rank := int64(0)
+	f := fact64(m)
+	for k := 0; k < m; k++ {
+		f /= int64(m - k) // (m-1-k)! for this step
+		idx := k
+		for work[idx] != target[k] {
+			idx++
+		}
+		rank += int64(idx-k) * f
+		work[k], work[idx] = work[idx], work[k]
+	}
+	return rank
+}
+
+func fact64(n int) int64 {
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
 }
 
 // suffixCombos returns, per slot, the number of order combinations of the
@@ -213,10 +372,13 @@ func identityPerm(n int) []int {
 	return p
 }
 
-// orderShardResult is one shard's outcome.
+// orderShardResult is one shard's outcome. rank is the kept candidate's
+// natural serial rank, meaningful only when the slots were reordered (the
+// natural nesting keeps shard-order reduction instead).
 type orderShardResult struct {
 	list  *oplist.List
 	val   rat.Rat
+	rank  int64
 	found bool
 	stats Stats
 }
@@ -268,13 +430,18 @@ func searchOrdersExhaustive(w *plan.Weighted, opts Options, newEval func() order
 	if minShards == 1 {
 		workers = 1
 	}
-	sizes := func() []int {
-		var out []int
-		for _, s := range collectSlots(DefaultOrders(w)) {
-			out = append(out, len(s.side))
-		}
-		return out
-	}()
+	// Shard prefixes are laid out over the SORTED slot sequence — the same
+	// ordering every shard recomputes locally (the heuristic is a pure
+	// function of static plan data, so all shards agree).
+	probe := collectSlots(DefaultOrders(w))
+	reordered := shouldReorder(probe)
+	if reordered {
+		sortSlots(probe)
+	}
+	sizes := make([]int, len(probe))
+	for i, s := range probe {
+		sizes[i] = len(s.side)
+	}
 	prefixes := orderShardPrefixes(sizes, minShards)
 	inc := &searchIncumbent{}
 	shards := par.Map(workers, len(prefixes), func(i int) orderShardResult {
@@ -287,7 +454,11 @@ func searchOrdersExhaustive(w *plan.Weighted, opts Options, newEval func() order
 		if !sh.found {
 			continue
 		}
-		if !best.found || sh.val.Less(best.val) {
+		// Natural nesting: first strictly-best in shard order (= serial
+		// order). Reordered nesting: minimum (value, natural rank) — the
+		// rank restores the serial-first winner among ties.
+		if !best.found || sh.val.Less(best.val) ||
+			(reordered && sh.val.Equal(best.val) && sh.rank < best.rank) {
 			best = sh
 		}
 	}
@@ -306,6 +477,14 @@ func searchOrdersExhaustive(w *plan.Weighted, opts Options, newEval func() order
 func runOrderShard(w *plan.Weighted, eval orderEval, prefix shardPrefix, inc *searchIncumbent) orderShardResult {
 	orders := DefaultOrders(w)
 	slots := collectSlots(orders)
+	// The ranker snapshot and the sort only happen when the gate fires —
+	// the natural nesting pays nothing.
+	var ranker *slotRanker
+	reordered := shouldReorder(slots)
+	if reordered {
+		ranker = newSlotRanker(slots) // natural contents, before sorting
+		sortSlots(slots)
+	}
 	suffix := suffixCombos(slots, 1<<30)
 	floor := eval.floor()
 
@@ -354,6 +533,20 @@ func runOrderShard(w *plan.Weighted, eval orderEval, prefix shardPrefix, inc *se
 	var incOK bool
 	var incVal rat.Rat
 
+	// Incremental bound state: one full build per shard, then one-segment
+	// patches as slots toggle. Patches are gated exactly like the bounds
+	// (suffix ≥ boundMinSuffix); suffix counts are nonincreasing in slot
+	// index, so every level at or above a bounding level has patched and the
+	// graph is current wherever a bound runs. Shards where no bound can ever
+	// fire (tiny slot spaces, no shard prefix) skip the build entirely.
+	prepared := fixed > 0 || (len(slots) > 1 && suffix[0] >= boundMinSuffix)
+	if prepared {
+		eval.prepare(orders, decIn, decOut, &r.stats)
+	}
+	patchGate := func(si int) bool {
+		return prepared && si+1 < len(slots) && suffix[si] >= boundMinSuffix
+	}
+
 	// pruneLimit is min(shared incumbent, shard-local best): a subtree
 	// whose bound exceeds it STRICTLY cannot contain a candidate the
 	// search would keep — pruned values above the shared incumbent never
@@ -373,39 +566,58 @@ func runOrderShard(w *plan.Weighted, eval orderEval, prefix shardPrefix, inc *se
 		return rat.Rat{}, false
 	}
 
+	// atFloor reports the shard's kept candidate already sits on the static
+	// floor: no value can improve, only a smaller natural rank can replace
+	// it. In the reordered nesting this powers rank pruning — the natural
+	// fast path keeps the outright stop instead.
+	atFloor := func() bool { return r.found && !r.val.Greater(floor) }
+
+	// curRank is the rank contribution of the slots decided so far (exact
+	// natural rank at a leaf, since open slots can always still reach their
+	// digit-0 natural arrangement); meaningful only when reordered.
 	stopped := false
-	var rec func(si int)
-	rec = func(si int) {
+	var rec func(si int, curRank int64)
+	rec = func(si int, curRank int64) {
 		if si == len(slots) {
+			if reordered && atFloor() && curRank >= r.rank {
+				// Value can't improve and the rank doesn't either: skip
+				// the evaluation outright.
+				return
+			}
 			r.stats.Evaluated++
 			val, err := eval.value(orders)
 			if err != nil {
 				return
 			}
-			if !r.found || val.Less(r.val) {
-				// A candidate strictly above the shared incumbent can
-				// neither win the shard-order reduction (strict
-				// improvement) nor tighten the pruning limit below the
-				// incumbent, so its materialization is skipped. Ties must
-				// materialize: the shard holding the serial-first achiever
-				// of the final value wins the reduction, and the incumbent
-				// may have been offered by a later shard. A stale (higher)
-				// snapshot only materializes more, never less.
-				inc.load(&incGen, &incOK, &incVal)
-				if incOK && val.Greater(incVal) {
-					return
-				}
-				l, lerr := eval.list(orders)
-				if lerr != nil {
-					return
-				}
-				r.list, r.val, r.found = l, val, true
-				inc.offer(val)
-				if !r.val.Greater(floor) {
-					// Early exit: every remaining candidate is ≥ the static
-					// floor = the shard's best; ties never replace it.
-					stopped = true
-				}
+			improved := !r.found || val.Less(r.val)
+			tied := reordered && !improved && r.found && val.Equal(r.val) && curRank < r.rank
+			if !improved && !tied {
+				return
+			}
+			// A candidate strictly above the shared incumbent can
+			// neither win the reduction nor tighten the pruning limit
+			// below the incumbent, so its materialization is skipped.
+			// Ties must materialize: the shard holding the serial-first
+			// achiever of the final value wins the reduction, and the
+			// incumbent may have been offered by a later shard. A stale
+			// (higher) snapshot only materializes more, never less.
+			inc.load(&incGen, &incOK, &incVal)
+			if incOK && val.Greater(incVal) {
+				return
+			}
+			l, lerr := eval.list(orders)
+			if lerr != nil {
+				return
+			}
+			r.list, r.val, r.rank, r.found = l, val, curRank, true
+			inc.offer(val)
+			if !reordered && !r.val.Greater(floor) {
+				// Early exit: every remaining candidate is ≥ the static
+				// floor = the shard's best; ties never replace it under
+				// the natural nesting. A reordered nesting keeps going —
+				// a later candidate at the floor may hold a smaller
+				// natural rank — but prunes by rank instead.
+				stopped = true
 			}
 			return
 		}
@@ -415,20 +627,39 @@ func runOrderShard(w *plan.Weighted, eval orderEval, prefix shardPrefix, inc *se
 		}
 		permute(slots[si].side, resume, func() bool {
 			setDecided(si, true)
+			next := curRank
+			if reordered {
+				nat := slots[si].nat
+				next += ranker.weight[nat] * permRank(ranker.natural[nat], slots[si].side, ranker.work)
+				if atFloor() && next >= r.rank {
+					// Every completion of this subtree ranks at least next:
+					// with the value pinned to the floor, none can replace
+					// the kept candidate.
+					setDecided(si, false)
+					return true
+				}
+			}
 			prune := false
-			if si+1 < len(slots) && suffix[si] >= boundMinSuffix {
+			if patchGate(si) {
+				eval.patch(slots[si].server, orders, decIn, decOut)
 				if limit, ok := pruneLimit(); ok {
 					r.stats.Prefixes++
-					if eval.exceeds(orders, decIn, decOut, limit) {
+					if eval.exceedsIncremental(limit) {
 						r.stats.Pruned++
 						prune = true
 					}
 				}
 			}
 			if !prune {
-				rec(si + 1)
+				rec(si+1, next)
 			}
 			setDecided(si, false)
+			if patchGate(si) {
+				// Roll the segment back to the open form for the next
+				// placement at this level (and correctness of any bound at
+				// an outer level after return).
+				eval.patch(slots[si].server, orders, decIn, decOut)
+			}
 			return !stopped
 		})
 	}
@@ -438,13 +669,20 @@ func runOrderShard(w *plan.Weighted, eval orderEval, prefix shardPrefix, inc *se
 	if fixed > 0 {
 		if limit, ok := pruneLimit(); ok {
 			r.stats.Prefixes++
-			if eval.exceeds(orders, decIn, decOut, limit) {
+			if eval.exceedsIncremental(limit) {
 				r.stats.Pruned++
 				return r
 			}
 		}
 	}
-	rec(fixed)
+	baseRank := int64(0)
+	if reordered {
+		for i := 0; i < fixed; i++ {
+			nat := slots[i].nat
+			baseRank += ranker.weight[nat] * permRank(ranker.natural[nat], slots[i].side, ranker.work)
+		}
+	}
+	rec(fixed, baseRank)
 	return r
 }
 

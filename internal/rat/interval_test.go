@@ -1,0 +1,113 @@
+package rat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRat draws rationals across the small and big representations,
+// including values far outside float range.
+func randRat(rng *rand.Rand) Rat {
+	switch rng.Intn(6) {
+	case 0:
+		return I(rng.Int63n(2000) - 1000)
+	case 1:
+		return New(rng.Int63n(1<<40)-(1<<39), 1+rng.Int63n(1<<20))
+	case 2: // huge numerators: above float64 range after a few squarings
+		r := New(rng.Int63n(1<<60)+1, 1+rng.Int63n(1<<10))
+		return r.Mul(r).Mul(r).Mul(r).Mul(r)
+	case 3: // tiny: below subnormal range
+		r := New(1, rng.Int63n(1<<60)+2)
+		return r.Mul(r).Mul(r).Mul(r).Mul(r)
+	case 4:
+		return FromFloat(rng.NormFloat64() * math.Ldexp(1, rng.Intn(120)-60))
+	default:
+		return New(rng.Int63n(2001)-1000, 1+rng.Int63n(997))
+	}
+}
+
+// TestIntervalEnclosure is the certification property: for every rational,
+// the returned endpoints exactly enclose it.
+func TestIntervalEnclosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		r := randRat(rng)
+		iv := r.Interval()
+		if !math.IsInf(iv.Lo, -1) && FromFloat(iv.Lo).Greater(r) {
+			t.Fatalf("Interval(%s).Lo = %v > value", r, iv.Lo)
+		}
+		if !math.IsInf(iv.Hi, 1) && FromFloat(iv.Hi).Less(r) {
+			t.Fatalf("Interval(%s).Hi = %v < value", r, iv.Hi)
+		}
+		if iv.Hi < iv.Lo {
+			t.Fatalf("Interval(%s) inverted: [%v, %v]", r, iv.Lo, iv.Hi)
+		}
+	}
+}
+
+// TestIntervalExactFloats pins that a float-representable rational gets a
+// tight (single-point or one-ulp) interval — the pre-filter's common case.
+func TestIntervalExactFloats(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 0.5, 3.75, -1024, 1e300, 5e-324} {
+		iv := FromFloat(f).Interval()
+		if iv.Lo > f || iv.Hi < f {
+			t.Fatalf("Interval(FromFloat(%v)) = [%v, %v] misses the value", f, iv.Lo, iv.Hi)
+		}
+	}
+}
+
+// TestAddUpDown is the directed-rounding property: AddUp dominates and
+// AddDown is dominated by the exact real sum, for finite operands.
+func TestAddUpDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		a := rng.NormFloat64() * math.Ldexp(1, rng.Intn(200)-100)
+		b := rng.NormFloat64() * math.Ldexp(1, rng.Intn(200)-100)
+		exact := FromFloat(a).Add(FromFloat(b))
+		up := AddUp(a, b)
+		if !math.IsInf(up, 1) && FromFloat(up).Less(exact) {
+			t.Fatalf("AddUp(%v, %v) = %v < exact sum %s", a, b, up, exact)
+		}
+		down := AddDown(a, b)
+		if !math.IsInf(down, -1) && FromFloat(down).Greater(exact) {
+			t.Fatalf("AddDown(%v, %v) = %v > exact sum %s", a, b, down, exact)
+		}
+	}
+	// Overflow corners: the directed results must still dominate.
+	if AddUp(math.MaxFloat64, math.MaxFloat64) != math.Inf(1) {
+		t.Fatal("AddUp must saturate to +Inf on overflow")
+	}
+	if got := AddUp(-math.MaxFloat64, -math.MaxFloat64); FromFloat(got).Less(FromFloat(-math.MaxFloat64).Add(FromFloat(-math.MaxFloat64))) {
+		t.Fatalf("AddUp overflow-down result %v below the exact sum", got)
+	}
+}
+
+// TestMulUpDown is the same directed-rounding property for the products
+// the weight reassembly uses (token count × λ endpoint).
+func TestMulUpDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		a := rng.NormFloat64() * math.Ldexp(1, rng.Intn(200)-100)
+		b := rng.NormFloat64() * math.Ldexp(1, rng.Intn(200)-100)
+		exact := FromFloat(a).Mul(FromFloat(b))
+		up := MulUp(a, b)
+		if !math.IsInf(up, 1) && FromFloat(up).Less(exact) {
+			t.Fatalf("MulUp(%v, %v) = %v < exact product %s", a, b, up, exact)
+		}
+		down := MulDown(a, b)
+		if !math.IsInf(down, -1) && FromFloat(down).Greater(exact) {
+			t.Fatalf("MulDown(%v, %v) = %v > exact product %s", a, b, down, exact)
+		}
+		if up < down {
+			t.Fatalf("MulUp(%v, %v) = %v < MulDown = %v", a, b, up, down)
+		}
+	}
+	// Zero and overflow corners.
+	if MulUp(0, 1e300) < 0 || MulDown(0, 1e300) > 0 {
+		t.Fatal("directed products of an exact zero must bracket 0")
+	}
+	if MulUp(math.MaxFloat64, 2) != math.Inf(1) {
+		t.Fatal("MulUp must saturate to +Inf on overflow")
+	}
+}

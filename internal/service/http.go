@@ -209,6 +209,11 @@ type statsJSON struct {
 	Subscribers     int   `json:"subscribers"`
 	EventsPublished int64 `json:"events_published"`
 	EventsDropped   int64 `json:"events_dropped"`
+	// Service-wide orchestration memo counters (Config.MemoSize).
+	MemoHits      int64 `json:"memo_hits"`
+	MemoMisses    int64 `json:"memo_misses"`
+	MemoLen       int   `json:"memo_len"`
+	MemoEvictions int64 `json:"memo_evictions"`
 }
 
 // eventJSON is the SSE payload of one re-plan notification.
@@ -360,7 +365,8 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported by this server"))
 			return
 		}
-		events, cancel := s.Subscribe(hash)
+		sub, cancel := s.Subscribe(hash)
+		events := sub.Events()
 		defer cancel()
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
@@ -390,6 +396,14 @@ func Handler(s *Server) http.Handler {
 					return
 				}
 				fmt.Fprintf(w, "event: replan\ndata: %s\n\n", data)
+				// A full buffer dropped events against this subscriber
+				// while it stalled: tell it, so it re-fetches the plan
+				// instead of trusting the stream to be complete. Drops can
+				// only happen with a full buffer, so the wake-up event that
+				// carries this notice always exists.
+				if n := sub.Lagged(); n > 0 {
+					fmt.Fprintf(w, "event: lagged\ndata: {\"dropped\": %d}\n\n", n)
+				}
 				fl.Flush()
 			}
 		}
@@ -419,6 +433,10 @@ func Handler(s *Server) http.Handler {
 			Subscribers:     st.Subscribers,
 			EventsPublished: st.EventsPublished,
 			EventsDropped:   st.EventsDropped,
+			MemoHits:        st.MemoHits,
+			MemoMisses:      st.MemoMisses,
+			MemoLen:         st.MemoLen,
+			MemoEvictions:   st.MemoEvictions,
 		})
 	})
 

@@ -72,6 +72,15 @@ type Config struct {
 	// instances are forgotten when the bound is hit; a drift against a
 	// forgotten hash fails and the client re-submits the instance.
 	RegistrySize int
+	// MemoSize bounds the service-wide orchestration memo (default 4096
+	// entries, least-recently-used evicted first): every solve on the pool
+	// shares one memo, so requests whose plan searches orchestrate the
+	// same weighted subgraphs — drifted variants, batch siblings, symmetric
+	// candidates — amortize each other across request boundaries. Sharing
+	// is invisible in the responses: the memo key pins every Result-
+	// affecting parameter and orchestration is deterministic, so a hit is
+	// bit-identical to recomputing.
+	MemoSize int
 	// Store, when non-nil, persists every successful solve write-through
 	// and is warm-loaded into the plan cache (and the drift registry) at
 	// New, so a restarted server answers previously solved requests as
@@ -92,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegistrySize <= 0 {
 		c.RegistrySize = 1024
+	}
+	if c.MemoSize <= 0 {
+		c.MemoSize = 4096
 	}
 	return c
 }
@@ -198,6 +210,12 @@ type Stats struct {
 	Subscribers     int
 	EventsPublished int64
 	EventsDropped   int64
+	// MemoHits/MemoMisses/MemoLen/MemoEvictions are the service-wide
+	// orchestration memo counters (Config.MemoSize).
+	MemoHits      int64
+	MemoMisses    int64
+	MemoLen       int
+	MemoEvictions int64
 }
 
 // cacheEntry is the cached value of one key.
@@ -231,6 +249,9 @@ type Server struct {
 	// targets of drift updates. Bounded LRU (Config.RegistrySize) so a
 	// stream of distinct instances cannot grow the daemon without limit.
 	registry *plancache.Cache[*canon.Instance]
+	// memo is the service-wide orchestration memo every pool solve shares
+	// (Config.MemoSize).
+	memo *orchestrate.Memo
 
 	wg sync.WaitGroup
 
@@ -268,6 +289,7 @@ func New(cfg Config) *Server {
 		cache:    plancache.New[cacheEntry](cfg.CacheSize),
 		queue:    make(chan task, cfg.QueueSize),
 		registry: plancache.New[*canon.Instance](cfg.RegistrySize),
+		memo:     orchestrate.NewMemo(cfg.MemoSize),
 		closing:  make(chan struct{}),
 	}
 	// Warm load: replay the persisted plans into the LRU and the drift
@@ -409,6 +431,17 @@ func (s *Server) register(inst *canon.Instance) {
 	s.registry.Do(inst.Hash(), func() (*canon.Instance, error) { return inst, nil })
 }
 
+// Register remembers a canonical instance as a drift target without
+// solving anything. The cluster router registers every instance it routes
+// — including those forwarded to a healthy shard owner — so a PATCH that
+// fails over to the embedded local service after the owner dies finds its
+// target instead of 404ing until the owner returns.
+func (s *Server) Register(inst *canon.Instance) {
+	if inst != nil {
+		s.register(inst)
+	}
+}
+
 // Instance returns the registered canonical instance for hash, if any.
 func (s *Server) Instance(hash string) (*canon.Instance, bool) {
 	return s.registry.Get(hash)
@@ -455,6 +488,10 @@ retry:
 			s.solves.Add(1)
 			opts := req.solveOptions(ctx, s.orchWorkers())
 			opts.Incumbent = incumbent
+			// Every pool solve shares the server memo: identical weighted
+			// subgraphs reached by different requests cost one
+			// orchestration.
+			opts.Memo = s.memo
 			if req.Objective == solve.PeriodObjective {
 				sol, solveErr = solve.MinPeriod(inst.App(), req.Model, opts)
 			} else {
@@ -645,7 +682,9 @@ func (s *Server) DriftContext(ctx context.Context, hash string, updates []Update
 				// the intake pool — the pool worker may be mid-solve with
 				// the borrowed orchestration budget, so the budget here is
 				// pinned serial (one layer of fan-out at a time).
-				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, req.solveOptions(ctx, 1)); err == nil {
+				reOpts := req.solveOptions(ctx, 1)
+				reOpts.Memo = s.memo
+				if re, err := solve.Reevaluate(eg, req.Model, req.Objective, reOpts); err == nil {
 					v := re.Value
 					incumbent = &v
 					report.WarmStart = true
@@ -692,6 +731,10 @@ func (s *Server) Stats() Stats {
 		Subscribers:     s.hub.subscribers(),
 		EventsPublished: s.hub.published.Load(),
 		EventsDropped:   s.hub.dropped.Load(),
+		MemoHits:        s.memo.Hits(),
+		MemoMisses:      s.memo.Misses(),
+		MemoLen:         s.memo.Len(),
+		MemoEvictions:   s.memo.Evictions(),
 	}
 	if s.cfg.Store != nil {
 		st.Persistent = true

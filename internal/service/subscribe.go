@@ -25,37 +25,57 @@ type Event struct {
 
 // subscriberBuffer bounds each subscription's undelivered events. Drift
 // re-plans are rare next to plan requests, so the buffer only fills when a
-// consumer stalls; events beyond it are dropped (counted) rather than
+// consumer stalls; events beyond it are dropped (counted, and flagged on
+// the subscription so the consumer learns it missed something) rather than
 // blocking the drift path on a dead client.
 const subscriberBuffer = 16
+
+// Subscription is one listener's handle: the event channel plus the lag
+// counter that records events dropped against this subscriber while its
+// buffer was full. A drop can only happen when the buffer holds
+// subscriberBuffer undelivered events, so a lagged consumer is always
+// about to wake up on a buffered event and see the flag.
+type Subscription struct {
+	ch     chan Event
+	lagged atomic.Int64
+}
+
+// Events returns the channel re-plan events arrive on.
+func (sub *Subscription) Events() <-chan Event { return sub.ch }
+
+// Lagged drains the lag counter: the number of events dropped against this
+// subscriber since the last call. A non-zero return means the consumer
+// missed re-plans and should re-fetch the current plan instead of trusting
+// the event stream to be complete.
+func (sub *Subscription) Lagged() int64 { return sub.lagged.Swap(0) }
 
 // hub fans re-plan events out to the subscribers of each hash. The zero
 // value is ready to use.
 type hub struct {
 	mu   sync.Mutex
-	subs map[string]map[chan Event]struct{}
+	subs map[string]map[*Subscription]struct{}
 
 	published atomic.Int64
 	dropped   atomic.Int64
 }
 
-// subscribe registers a listener for hash and returns its channel plus the
-// cancel function (idempotent; always call it — it releases the slot).
-func (h *hub) subscribe(hash string) (<-chan Event, func()) {
-	ch := make(chan Event, subscriberBuffer)
+// subscribe registers a listener for hash and returns it plus the cancel
+// function (idempotent; always call it — it releases the slot).
+func (h *hub) subscribe(hash string) (*Subscription, func()) {
+	sub := &Subscription{ch: make(chan Event, subscriberBuffer)}
 	h.mu.Lock()
 	if h.subs == nil {
-		h.subs = make(map[string]map[chan Event]struct{})
+		h.subs = make(map[string]map[*Subscription]struct{})
 	}
 	if h.subs[hash] == nil {
-		h.subs[hash] = make(map[chan Event]struct{})
+		h.subs[hash] = make(map[*Subscription]struct{})
 	}
-	h.subs[hash][ch] = struct{}{}
+	h.subs[hash][sub] = struct{}{}
 	h.mu.Unlock()
-	return ch, func() {
+	return sub, func() {
 		h.mu.Lock()
 		if set, ok := h.subs[hash]; ok {
-			delete(set, ch)
+			delete(set, sub)
 			if len(set) == 0 {
 				delete(h.subs, hash)
 			}
@@ -65,16 +85,18 @@ func (h *hub) subscribe(hash string) (<-chan Event, func()) {
 }
 
 // publish delivers ev to every current subscriber of hash: exactly one
-// send per subscriber, non-blocking (a full buffer counts a drop instead
-// of stalling the drift request).
+// send per subscriber, non-blocking (a full buffer counts a drop on the
+// hub AND on the subscription — the consumer finds out — instead of
+// stalling the drift request).
 func (h *hub) publish(hash string, ev Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for ch := range h.subs[hash] {
+	for sub := range h.subs[hash] {
 		select {
-		case ch <- ev:
+		case sub.ch <- ev:
 			h.published.Add(1)
 		default:
+			sub.lagged.Add(1)
 			h.dropped.Add(1)
 		}
 	}
@@ -94,7 +116,9 @@ func (h *hub) subscribers() int {
 // Subscribe registers for re-plan events against a canonical hash: every
 // PATCH re-plan of that hash whose objective changes delivers exactly one
 // Event. The returned cancel releases the subscription; events arriving
-// with no reader beyond the buffer are dropped, not blocking.
-func (s *Server) Subscribe(hash string) (<-chan Event, func()) {
+// with no reader beyond the buffer are dropped — never blocking the drift
+// path — and recorded on the Subscription's lag counter so the consumer
+// can detect the gap.
+func (s *Server) Subscribe(hash string) (*Subscription, func()) {
 	return s.hub.subscribe(hash)
 }

@@ -40,8 +40,9 @@ func TestDriftDeliversExactlyOneEventPerSubscriber(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 2})
 	hash, target, planned := planAndTarget(t, s)
 
-	chA, cancelA := s.Subscribe(hash)
-	chB, cancelB := s.Subscribe(hash)
+	subA, cancelA := s.Subscribe(hash)
+	subB, cancelB := s.Subscribe(hash)
+	chA, chB := subA.Events(), subB.Events()
 	defer cancelA()
 	defer cancelB()
 	if st := s.Stats(); st.Subscribers != 2 {
@@ -150,6 +151,97 @@ func TestHTTPSubscribeStreamsReplanEvent(t *testing.T) {
 	if ev.Hash != hash || ev.NewHash != drift.NewHash ||
 		!ev.OldValue.Equal(drift.OldValue) || !ev.NewValue.Equal(drift.NewValue) {
 		t.Errorf("event %+v inconsistent with the drift response %+v", ev, drift)
+	}
+}
+
+// TestSlowSubscriberDropsAreCountedAndFlagged pins the slow-consumer
+// contract: a subscriber that stops draining loses exactly the events
+// beyond its buffer, the hub counts them (surfaced as events_dropped in
+// /v1/stats), and the subscription's lag counter hands the same number to
+// the consumer — silently missing a re-plan is impossible.
+func TestSlowSubscriberDropsAreCountedAndFlagged(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	sub, cancel := s.Subscribe("h")
+	defer cancel()
+
+	const extra = 3
+	for i := 0; i < subscriberBuffer+extra; i++ {
+		s.hub.publish("h", Event{Hash: "h", NewHash: "h2"})
+	}
+	st := s.Stats()
+	if st.EventsPublished != subscriberBuffer || st.EventsDropped != extra {
+		t.Fatalf("published %d dropped %d, want %d and %d",
+			st.EventsPublished, st.EventsDropped, subscriberBuffer, extra)
+	}
+	if got := sub.Lagged(); got != extra {
+		t.Fatalf("Lagged() = %d, want %d", got, extra)
+	}
+	if got := sub.Lagged(); got != 0 {
+		t.Fatalf("second Lagged() = %d, want 0 (the counter drains)", got)
+	}
+	if got := len(sub.Events()); got != subscriberBuffer {
+		t.Fatalf("buffered events = %d, want %d", got, subscriberBuffer)
+	}
+	// Draining resumes cleanly: the buffered events are the FIRST ones
+	// published, not the last.
+	<-sub.Events()
+	s.hub.publish("h", Event{Hash: "h"})
+	if got := sub.Lagged(); got != 0 {
+		t.Fatalf("lag after recovery = %d, want 0", got)
+	}
+}
+
+// TestHTTPSubscribeEmitsLaggedEvent drives the SSE lagged notice: a
+// subscriber whose buffer overflowed receives an explicit `lagged` event
+// naming the number of missed re-plans on its next wake-up, so it can
+// re-fetch instead of trusting the stream.
+func TestHTTPSubscribeEmitsLaggedEvent(t *testing.T) {
+	s, ts := newTestAPI(t)
+	hash, _, _ := planAndTarget(t, s)
+
+	resp, err := http.Get(ts.URL + "/v1/subscribe/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, ": subscribed") {
+		t.Fatalf("stream preamble %q, %v", line, err)
+	}
+
+	// Find the handler's subscription and lag it directly — the
+	// deterministic stand-in for a real stall, which would need the TCP
+	// window to fill while drift re-plans overflow the hub buffer.
+	s.hub.mu.Lock()
+	if n := len(s.hub.subs[hash]); n != 1 {
+		s.hub.mu.Unlock()
+		t.Fatalf("%d subscriptions for %s, want 1", n, hash)
+	}
+	for sub := range s.hub.subs[hash] {
+		sub.lagged.Add(3)
+	}
+	s.hub.mu.Unlock()
+	s.hub.publish(hash, Event{Hash: hash, NewHash: "next"})
+
+	sawReplan := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		if strings.HasPrefix(line, "event: replan") {
+			sawReplan = true
+		}
+		if strings.HasPrefix(line, "event: lagged") {
+			if !sawReplan {
+				t.Fatal("lagged notice arrived before the wake-up event")
+			}
+			data, err := r.ReadString('\n')
+			if err != nil || strings.TrimSpace(data) != `data: {"dropped": 3}` {
+				t.Fatalf("lagged payload %q, %v", data, err)
+			}
+			return
+		}
 	}
 }
 

@@ -251,6 +251,61 @@ func TestPartialBoundsAdmissible(t *testing.T) {
 	}
 }
 
+// TestDAGSourceFloorBinds pins the DAG bound's source floor on the case it
+// exists for: a shrinking workload with every pair still open. There the
+// per-node terms all collapse toward the full shrink product (well below
+// 1), but every completion still runs its topological first node at input
+// product 1 — so the bound must equal the minimum unit-volume Cexec over
+// the possible sources, not the collapsed per-node maximum.
+func TestDAGSourceFloorBinds(t *testing.T) {
+	services := []workflow.Service{
+		{Name: "a", Cost: rat.New(1, 2), Selectivity: rat.New(1, 3)},
+		{Name: "b", Cost: rat.New(1, 4), Selectivity: rat.New(1, 2)},
+		{Name: "c", Cost: rat.New(3, 4), Selectivity: rat.New(1, 5)},
+		{Name: "d", Cost: rat.New(1, 8), Selectivity: rat.New(2, 3)},
+	}
+	app, err := workflow.New(services, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := app.N()
+	pairs := nodePairs(n)
+	g := dag.New(n)
+	for _, m := range []plan.Model{plan.Overlap, plan.InOrder} {
+		// Fully open: every node is a source candidate with out-degree 0.
+		floor := cexecUnit(app, m, 0, 0)
+		for v := 1; v < n; v++ {
+			if u := cexecUnit(app, m, v, 0); u.Less(floor) {
+				floor = u
+			}
+		}
+		got := dagPartialBound(app, m, PeriodObjective, g, pairs, 0)
+		if !got.Equal(floor) {
+			t.Fatalf("%s fully-open bound %s, want the source floor %s", m, got, floor)
+		}
+		// Sanity that the floor is doing work: with every cost < 1 and every
+		// selectivity < 1, the pre-floor per-node terms are all < 1 for
+		// OVERLAP-style maxima only because of the floor's unit volume.
+		if m == plan.Overlap && got.Less(rat.One) {
+			t.Fatalf("overlap floor %s < 1: the unit-volume source is not in the bound", got)
+		}
+	}
+	// The floor stays admissible as decisions accumulate: covered for the
+	// optimal DAG by TestPartialBoundsAdmissible; spot-check a decided edge
+	// removes its head from the candidate set.
+	g.AddEdge(0, 1)
+	got := dagPartialBound(app, plan.InOrder, PeriodObjective, g, pairs, 1)
+	floor := cexecUnit(app, plan.InOrder, 0, 1)
+	for _, v := range []int{2, 3} {
+		if u := cexecUnit(app, plan.InOrder, v, 0); u.Less(floor) {
+			floor = u
+		}
+	}
+	if got.Less(floor) {
+		t.Fatalf("bound %s below the candidate-source floor %s after deciding an edge", got, floor)
+	}
+}
+
 // chainPrefixBound bounds every chain that starts with order[:k] and
 // continues with some permutation of order[k:]: the admissibility test's
 // from-scratch counterpart of the prefix state branchBoundChain maintains

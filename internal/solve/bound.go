@@ -221,6 +221,31 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 			}
 			bound = rat.Max(bound, cexec)
 		}
+		// Source floor — the DAG family's analogue of the chain bound's
+		// last-position floor (ROADMAP called this family's bound the
+		// weakest). Every completion is acyclic, so its topological first
+		// node has NO predecessors: it runs on input product exactly 1,
+		// not the shrunk minProd the per-node terms use. Only a node
+		// without decided predecessors can end up there, edges only get
+		// added (its final out-degree ≥ the decided one, and cexecUnit is
+		// monotone in k), so the minimum unit-volume Cexec over those
+		// candidates bounds every completion. On shrinking workloads with
+		// most pairs still open the per-node terms collapse toward the
+		// full shrink product and this floor is the binding part.
+		var src rat.Rat
+		haveSrc := false
+		for v := 0; v < n; v++ {
+			if len(g.Pred(v)) > 0 {
+				continue
+			}
+			t := cexecUnit(app, m, v, g.OutDegree(v))
+			if !haveSrc || t.Less(src) {
+				src, haveSrc = t, true
+			}
+		}
+		if haveSrc {
+			bound = rat.Max(bound, src)
+		}
 		return bound
 	}
 	// Latency: longest path over the decided edges with minimal volumes;
