@@ -28,13 +28,14 @@ test-short:
 # branch-and-bound shared incumbent and context cancellation), the sharded
 # orchestration order search (shared incumbent + per-shard scratch) and
 # its event-graph engine, the plan cache's singleflight, the service's
-# exactly-one-solve / restart / subscription suites, the persistent store
-# and the cluster router, plus one race pass of the concurrent experiment
+# exactly-one-solve / restart / subscription / backpressure suites, the
+# persistent store, the cluster router with its circuit breakers, the
+# metrics registry, plus one race pass of the concurrent experiment
 # harness (the rest of internal/experiments runs race+short — its full
 # sweep is covered unraced by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # Allocation-regression guards on the orchestration inner loop

@@ -30,7 +30,11 @@
 //	POST  /v1/batch            {"requests": [{...}, ...]}
 //	PATCH /v1/instance/{hash}  {"updates": [{"service": "C3", "cost": "7/2"}], "model": ...}
 //	GET   /v1/subscribe/{hash} server-sent events: one "replan" event per objective change
-//	GET   /v1/stats
+//	GET   /v1/stats            JSON counters (compat)
+//	GET   /metrics             Prometheus text format: request latency, solver wall
+//	                           time, cache/memo hit rates, queue depth and shed
+//	                           counts — plus, in router mode, per-peer forward,
+//	                           failover and circuit-breaker state
 //
 // Example (single replica with persistence):
 //
@@ -58,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -68,6 +73,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "solver pool size (0 = all CPUs; inner solves are serial — one pool, never nested)")
 		cacheSize   = flag.Int("cache", 256, "plan cache capacity (completed entries)")
 		queueSize   = flag.Int("queue", 64, "intake queue buffer")
+		maxPending  = flag.Int("max-pending", 0, "load-shedding watermark: pending solves beyond it get 429 (0 = queue + 2*workers)")
 		maxServices = flag.Int("max-services", 64, "largest accepted instance")
 		dataDir     = flag.String("data-dir", "", "persistent plan store directory (empty: in-memory only)")
 		peers       = flag.String("peers", "", "comma-separated replica base URLs; when set, run as the cluster router")
@@ -84,12 +90,18 @@ func main() {
 		}
 	}
 
+	// One registry for the whole process: the service's filterd_* families
+	// and (in router mode) the cluster's filterd_router_* families share
+	// the same GET /metrics page.
+	reg := metrics.New()
 	srv := service.New(service.Config{
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		QueueSize:   *queueSize,
+		MaxPending:  *maxPending,
 		MaxServices: *maxServices,
 		Store:       st,
+		Metrics:     reg,
 	})
 	if st != nil {
 		ls := st.Stats()
@@ -108,6 +120,7 @@ func main() {
 			Peers:     peerList,
 			ShardBits: *shardBits,
 			Local:     srv,
+			Metrics:   reg,
 		})
 		if err != nil {
 			fatal(err)

@@ -3,7 +3,8 @@
 // equivalent permuted listing, batch-plan, subscribe to re-plan events,
 // drift a cost and watch the warm-started re-plan push one event, restart
 // the service over its persistent store and get the same answer warm, and
-// read the counters.
+// read the counters — JSON via /v1/stats and Prometheus text via
+// /metrics (what a collector scrapes).
 //
 // The same API is served standalone by `go run ./cmd/filterd` (add
 // -data-dir for persistence, -peers for the cluster router); everything
@@ -131,6 +132,29 @@ func main() {
 		stats["cache_coalesced"], stats["registered_instances"])
 	fmt.Printf("  persistent: %v (%v writes), %v events published\n",
 		stats["persistent"], stats["store_writes"], stats["events_published"])
+
+	fmt.Println("== GET /metrics: the same story in Prometheus text format ==")
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	scanner := bufio.NewScanner(mresp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		// Show the scrape's headline instruments; a real deployment points
+		// a Prometheus scrape job at this endpoint (router included —
+		// there it also exposes per-peer breaker state and failovers).
+		for _, prefix := range []string{
+			"filterd_plan_requests_total", "filterd_solves_total",
+			"filterd_plancache_hits_total", "filterd_queue_depth",
+			"filterd_shed_total", "filterd_solve_seconds_count",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
 }
 
 func post(url, body string) map[string]any {

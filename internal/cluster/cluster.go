@@ -13,30 +13,42 @@
 // enough of each request to know the hash (bodies for /v1/plan and
 // /v1/batch items, the path for /v1/instance/{hash} and
 // /v1/subscribe/{hash}), forwards to the owner, and falls back to solving
-// on its own embedded service when the owner is down (health checks plus
-// on-error demotion). Every response carries X-Filterd-Shard,
-// X-Filterd-Shard-Owner and X-Filterd-Served-By headers, so clients and
-// the smoke tests can observe the routing.
+// on its own embedded service when the owner is down. Peer health is one
+// state machine per peer — a resilience.Breaker fed by both the periodic
+// health probes and the forward path — so a replica that fails K
+// consecutive interactions is isolated until a probe proves it back, and
+// idempotent forwards ride out transient noise with a bounded retry
+// (PATCH is exempt: a replayed drift would publish duplicate re-plan
+// events). Every response carries X-Filterd-Shard, X-Filterd-Shard-Owner
+// and X-Filterd-Served-By headers, so clients and the smoke tests can
+// observe the routing; GET /metrics exposes the same story as Prometheus
+// text.
 //
 // Determinism across the cluster: every replica solves the canonical form
 // with Workers: 1, so routed, failed-over and direct answers for one
 // canonical instance are bit-identical (pinned by cluster_test.go) — the
-// repository's determinism invariant extended across the wire.
+// repository's determinism invariant extended across the wire. The
+// breaker and the retry decide only WHO computes an answer, never what
+// the answer is.
 package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/canon"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/workflow"
 )
@@ -56,28 +68,59 @@ type Config struct {
 	Local *service.Server
 	// HealthInterval is the peer health-check period (default 2s).
 	HealthInterval time.Duration
+	// ProbeTimeout caps one health probe (default: HealthInterval,
+	// itself capped at 1s) — a hung peer costs one bounded probe, not a
+	// stalled health pass.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is K, the consecutive failures (forwards and
+	// probes combined) that open a peer's breaker; BreakerCooldown the
+	// Open → HalfOpen delay. Zero values take the resilience defaults
+	// (3 failures, 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ForwardRetries bounds re-attempts of one idempotent forward after
+	// its first try (default 2; negative disables retries). PATCH
+	// forwards never retry. RetryBackoff is the first inter-attempt
+	// sleep, doubling per attempt (default 50ms).
+	ForwardRetries int
+	RetryBackoff   time.Duration
+	// BatchFanout bounds the concurrently routed items of one batch
+	// (default 4 per peer). Items beyond it queue behind the fan-out
+	// workers instead of each spawning a goroutine.
+	BatchFanout int
+	// Metrics receives the router's instrument families (default: a
+	// private registry). cmd/filterd passes the service's registry so
+	// one /metrics page covers the whole process.
+	Metrics *metrics.Registry
 	// Client performs the forwards (default: http.Client without a
 	// global timeout — per-request contexts bound the forwards, and
 	// subscribe streams must live arbitrarily long).
 	Client *http.Client
 }
 
-// peer is one replica and its health state. seen records whether a health
-// probe ever succeeded: a never-seen peer is not demoted by failed probes
-// (routers and replicas boot together, and demoting a replica that is
-// merely a beat slower to bind would divert its shards to local cold
-// solves for a whole health interval) — a genuinely dead peer is still
-// demoted immediately by the forward-error path the first time it is
-// used.
+// peer is one replica. Its breaker is the single health state machine:
+// probe successes close it, probe failures and forward failures feed its
+// streak, and routing consults it before every forward. seen records
+// whether any interaction ever succeeded: a never-seen peer's probe
+// failures are ignored (routers and replicas boot together, and opening
+// the breaker of a replica that is merely a beat slower to bind would
+// divert its shards to local cold solves) — a genuinely dead peer is
+// still isolated by the forward-failure path the first times it is used.
 type peer struct {
-	url  string
-	up   atomic.Bool
-	seen atomic.Bool
+	url     string
+	seen    atomic.Bool
+	breaker *resilience.Breaker
 }
+
+// available reports whether routing should try the peer at all. Open
+// means recently proven dead; Closed and HalfOpen both admit traffic
+// (the breaker's Allow gate arbitrates the half-open probe slot).
+func (p *peer) available() bool { return p.breaker.State() != resilience.Open }
 
 // Stats is a snapshot of the router counters.
 type Stats struct {
-	// Shards is 2^ShardBits; PeersUp counts currently healthy replicas.
+	// Shards is 2^ShardBits; PeersUp counts replicas whose breaker is
+	// not Open.
 	Shards  int
 	Peers   int
 	PeersUp int
@@ -85,10 +128,11 @@ type Stats struct {
 	// requests the router owned locally or could not route (bad bodies
 	// answered without routing included); Failovers the forwards that
 	// fell back to the local service because the owner was down or
-	// erroring.
+	// erroring. Retries counts forward re-attempts.
 	Forwarded   int64
 	LocalServed int64
 	Failovers   int64
+	Retries     int64
 }
 
 // Router is the gateway handler. Create with New, release with Close.
@@ -97,14 +141,26 @@ type Router struct {
 	peers  []*peer
 	local  http.Handler
 	client *http.Client
+	probe  *http.Client
 	mux    *http.ServeMux
 
-	stop     chan struct{}
-	healthWg sync.WaitGroup
+	stop       chan struct{}
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	healthWg   sync.WaitGroup
 
 	forwarded   atomic.Int64
 	localServed atomic.Int64
 	failovers   atomic.Int64
+	retries     atomic.Int64
+
+	metrics         *metrics.Registry
+	mForwards       *metrics.CounterVec
+	mFailovers      *metrics.CounterVec
+	mRetries        *metrics.CounterVec
+	mBreakerState   *metrics.GaugeVec
+	mBreakerOpens   *metrics.CounterVec
+	mForwardSeconds *metrics.Histogram
 }
 
 // New validates the configuration and starts the health-check loop.
@@ -124,61 +180,109 @@ func New(cfg Config) (*Router, error) {
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = 2 * time.Second
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.HealthInterval
+		if cfg.ProbeTimeout > time.Second {
+			cfg.ProbeTimeout = time.Second
+		}
+	}
+	switch {
+	case cfg.ForwardRetries == 0:
+		cfg.ForwardRetries = 2
+	case cfg.ForwardRetries < 0:
+		cfg.ForwardRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.BatchFanout <= 0 {
+		cfg.BatchFanout = 4 * len(cfg.Peers)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
 	rt := &Router{
-		cfg:    cfg,
-		local:  service.Handler(cfg.Local),
-		client: cfg.Client,
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		local:   service.Handler(cfg.Local),
+		client:  cfg.Client,
+		probe:   &http.Client{},
+		stop:    make(chan struct{}),
+		metrics: cfg.Metrics,
 	}
+	rt.baseCtx, rt.baseCancel = context.WithCancel(context.Background())
 	for _, u := range cfg.Peers {
-		p := &peer{url: u}
-		p.up.Store(true) // optimistic: demoted on first failure
-		rt.peers = append(rt.peers, p)
+		rt.peers = append(rt.peers, &peer{
+			url: u,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			}),
+		})
 	}
+	rt.initMetrics()
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("POST /v1/plan", rt.handlePlan)
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("PATCH /v1/instance/{hash}", rt.handleByHashPath)
 	rt.mux.HandleFunc("GET /v1/subscribe/{hash}", rt.handleByHashPath)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.Handle("GET /metrics", rt.metrics.Handler())
 	rt.healthWg.Add(1)
 	go rt.healthLoop()
 	return rt, nil
 }
 
-// Close stops the health loop. In-flight requests finish on their own.
+// Close stops the health loop, aborting any probe still in flight.
+// In-flight requests finish on their own.
 func (rt *Router) Close() {
 	close(rt.stop)
+	rt.baseCancel()
 	rt.healthWg.Wait()
 }
 
-// healthLoop probes every peer's /v1/stats on the configured period,
-// promoting and demoting them. A demoted peer heals automatically at the
-// next successful probe.
+// healthLoop probes every peer's /v1/stats on the configured period. The
+// probes of one pass run concurrently, each bounded by ProbeTimeout, so a
+// pass costs one probe's worth of wall time however many peers are dead —
+// with serial unbounded probes, two hung peers would stall the pass past
+// the interval and starve recovery detection for the healthy ones. Probe
+// outcomes feed the breakers: success closes (heals) a peer, failure
+// extends a dead peer's isolation without waiting for a request to trip
+// over it.
 func (rt *Router) healthLoop() {
 	defer rt.healthWg.Done()
 	ticker := time.NewTicker(rt.cfg.HealthInterval)
 	defer ticker.Stop()
-	probe := &http.Client{Timeout: rt.cfg.HealthInterval}
 	check := func() {
+		var wg sync.WaitGroup
 		for _, p := range rt.peers {
-			resp, err := probe.Get(p.url + "/v1/stats")
-			ok := err == nil && resp.StatusCode == http.StatusOK
-			if resp != nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-			}
-			switch {
-			case ok:
-				p.seen.Store(true)
-				p.up.Store(true)
-			case p.seen.Load():
-				p.up.Store(false)
-			}
+			wg.Add(1)
+			go func(p *peer) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.ProbeTimeout)
+				defer cancel()
+				ok := false
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/v1/stats", nil)
+				if err == nil {
+					resp, derr := rt.probe.Do(req)
+					if derr == nil {
+						ok = resp.StatusCode == http.StatusOK
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+				switch {
+				case ok:
+					p.seen.Store(true)
+					p.breaker.Success()
+				case p.seen.Load():
+					p.breaker.Failure()
+				}
+			}(p)
 		}
+		wg.Wait()
 	}
 	check()
 	for {
@@ -217,17 +321,27 @@ func (rt *Router) Stats() Stats {
 		Forwarded:   rt.forwarded.Load(),
 		LocalServed: rt.localServed.Load(),
 		Failovers:   rt.failovers.Load(),
+		Retries:     rt.retries.Load(),
 	}
 	for _, p := range rt.peers {
-		if p.up.Load() {
+		if p.available() {
 			st.PeersUp++
 		}
 	}
 	return st
 }
 
-// maxBodyBytes mirrors the service's request-body bound.
-const maxBodyBytes = 4 << 20
+// Metrics returns the router's registry (shared with the embedded
+// service when cmd/filterd wired one registry through both).
+func (rt *Router) Metrics() *metrics.Registry { return rt.metrics }
+
+// maxBodyBytes mirrors the service's request-body bound; maxRespBytes
+// bounds a buffered forward response (a plan answer is far smaller — the
+// bound only guards the router's memory against a misbehaving peer).
+const (
+	maxBodyBytes = 4 << 20
+	maxRespBytes = 32 << 20
+)
 
 // ServeHTTP routes /v1/* by canonical-hash prefix (the route table is
 // built once in New).
@@ -314,9 +428,12 @@ type batchItemJSON struct {
 	Plan  json.RawMessage `json:"plan,omitempty"`
 }
 
-// handleBatch fans the items out to their owners concurrently and
-// reassembles the answers in item order — a batch spanning shards
-// parallelizes across replicas, which a single replica cannot do.
+// handleBatch fans the items out to their owners and reassembles the
+// answers in item order — a batch spanning shards parallelizes across
+// replicas, which a single replica cannot do. The fan-out is bounded by
+// BatchFanout workers draining a shared index: a thousand-item batch
+// costs a handful of goroutines and at most BatchFanout concurrent
+// forwards, not a thousand of each.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
@@ -333,13 +450,24 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	answers := make([]routedResponse, len(doc.Requests))
+	workers := rt.cfg.BatchFanout
+	if workers > len(doc.Requests) {
+		workers = len(doc.Requests)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, item := range doc.Requests {
+	for n := 0; n < workers; n++ {
 		wg.Add(1)
-		go func(i int, item []byte) {
+		go func() {
 			defer wg.Done()
-			answers[i] = rt.routeItem(r, item)
-		}(i, item)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(doc.Requests) {
+					return
+				}
+				answers[i] = rt.routeItem(r, doc.Requests[i])
+			}
+		}()
 	}
 	wg.Wait()
 
@@ -382,8 +510,10 @@ func (rt *Router) handleByHashPath(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := rt.Stats()
 	type peerJSON struct {
-		URL string `json:"url"`
-		Up  bool   `json:"up"`
+		URL     string `json:"url"`
+		Up      bool   `json:"up"`
+		Breaker string `json:"breaker"`
+		Opens   int64  `json:"breaker_opens"`
 	}
 	out := struct {
 		Role        string     `json:"role"`
@@ -391,6 +521,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Forwarded   int64      `json:"forwarded"`
 		LocalServed int64      `json:"local_served"`
 		Failovers   int64      `json:"failovers"`
+		Retries     int64      `json:"retries"`
 		Peers       []peerJSON `json:"peers"`
 	}{
 		Role:        "router",
@@ -398,9 +529,15 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Forwarded:   st.Forwarded,
 		LocalServed: st.LocalServed,
 		Failovers:   st.Failovers,
+		Retries:     st.Retries,
 	}
 	for _, p := range rt.peers {
-		out.Peers = append(out.Peers, peerJSON{URL: p.url, Up: p.up.Load()})
+		out.Peers = append(out.Peers, peerJSON{
+			URL:     p.url,
+			Up:      p.available(),
+			Breaker: p.breaker.State().String(),
+			Opens:   p.breaker.Opens(),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -419,46 +556,113 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, hash, path strin
 	h := w.Header()
 	h.Set("X-Filterd-Shard", strconv.Itoa(shard))
 	h.Set("X-Filterd-Shard-Owner", owner.url)
-	if owner.up.Load() && rt.forward(w, r, owner, path, body) {
+	if rt.forward(w, r, owner, path, body) {
 		return
 	}
 	// Failover: the owner is down (or just failed) — solve locally. The
 	// determinism invariant makes the answer bit-identical to the
 	// owner's, so clients only notice via the Served-By header.
 	rt.failovers.Add(1)
+	rt.mFailovers.With(owner.url).Inc()
 	rt.serveLocal(w, r, body, "local-failover")
 }
 
-// forward proxies the request to p. A transport-level failure demotes the
-// peer and reports false so the caller can fail over; once response bytes
-// have been copied the forward is committed (true).
+// errBreakerOpen aborts a forward (and any retry loop around it) when the
+// peer's breaker rejects the attempt.
+var errBreakerOpen = fmt.Errorf("cluster: peer breaker open")
+
+// forward proxies the request to p, reporting whether a response was
+// committed to w; false means nothing was written and the caller can fail
+// over. Each attempt passes the peer's breaker gate, and idempotent
+// methods re-try transient failures up to ForwardRetries times (PATCH
+// never retries — a replayed drift would publish duplicate re-plan
+// events; determinism makes every other forward safe to repeat).
+//
+// A non-SSE response is buffered in full BEFORE any status or header is
+// committed: a peer dying mid-body therefore surfaces as a retriable
+// failure and ultimately a failover, never as a truncated 200 the client
+// must detect on its own. Subscribe streams cannot buffer (they are
+// unbounded by design), so they commit on the response header and flush
+// through; a mid-stream death there ends the stream, which is the SSE
+// contract clients already handle by resubscribing.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path string, body []byte) bool {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.url+path, bytes.NewReader(body))
-	if err != nil {
-		return false
+	sse := strings.HasPrefix(path, "/v1/subscribe/")
+	attempts := 1
+	if r.Method != http.MethodPatch {
+		attempts += rt.cfg.ForwardRetries
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		// Demote only when the PEER failed: a forward aborted because the
-		// client's own context died says nothing about the peer's health,
-		// and demoting there would divert the peer's shards to local cold
-		// solves for a whole health interval.
-		if r.Context().Err() == nil {
-			p.up.Store(false)
+	committed := false
+	attempt := 0
+	op := func() error {
+		attempt++
+		if attempt > 1 {
+			rt.retries.Add(1)
+			rt.mRetries.With(p.url).Inc()
 		}
-		return false
+		if !p.breaker.Allow() {
+			return resilience.Permanent(errBreakerOpen)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, p.url+path, bytes.NewReader(body))
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			// Blame the peer only when the PEER failed: a forward aborted
+			// because the client's own context died says nothing about
+			// the peer's health.
+			if r.Context().Err() != nil {
+				return resilience.Permanent(err)
+			}
+			p.breaker.Failure()
+			return err
+		}
+		defer resp.Body.Close()
+		h := w.Header()
+		if sse {
+			// Commit and stream: from here the forward cannot retry or
+			// fail over, only end.
+			p.seen.Store(true)
+			p.breaker.Success()
+			rt.forwarded.Add(1)
+			rt.mForwards.With(p.url).Inc()
+			rt.mForwardSeconds.Observe(time.Since(start).Seconds())
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				h.Set("Content-Type", ct)
+			}
+			h.Set("X-Filterd-Served-By", p.url)
+			w.WriteHeader(resp.StatusCode)
+			committed = true
+			flushingCopy(w, resp.Body)
+			return nil
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes+1))
+		if err == nil && len(respBody) > maxRespBytes {
+			err = fmt.Errorf("cluster: response exceeds %d bytes", maxRespBytes)
+		}
+		if err != nil {
+			p.breaker.Failure()
+			return fmt.Errorf("cluster: reading %s response: %w", p.url, err)
+		}
+		p.seen.Store(true)
+		p.breaker.Success()
+		rt.forwarded.Add(1)
+		rt.mForwards.With(p.url).Inc()
+		rt.mForwardSeconds.Observe(time.Since(start).Seconds())
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			h.Set("Content-Type", ct)
+		}
+		h.Set("X-Filterd-Served-By", p.url)
+		h.Set("Content-Length", strconv.Itoa(len(respBody)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		committed = true
+		return nil
 	}
-	defer resp.Body.Close()
-	rt.forwarded.Add(1)
-	h := w.Header()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		h.Set("Content-Type", ct)
-	}
-	h.Set("X-Filterd-Served-By", p.url)
-	w.WriteHeader(resp.StatusCode)
-	flushingCopy(w, resp.Body)
-	return true
+	resilience.Retry(r.Context(), attempts, rt.cfg.RetryBackoff, op)
+	return committed
 }
 
 // serveLocal answers from the embedded service.

@@ -1,0 +1,42 @@
+package cluster
+
+// The router's Prometheus families (DESIGN.md §5), served at GET /metrics
+// alongside the JSON /v1/stats. Per-peer counters are labeled by the
+// peer's base URL; breaker positions are mirrored into gauges at scrape
+// time so the breaker itself stays the single source of truth.
+
+// initMetrics registers the router families into rt.metrics. Called once
+// from New, before the health loop starts.
+func (rt *Router) initMetrics() {
+	m := rt.metrics
+	rt.mForwards = m.CounterVec("filterd_router_forwards_total",
+		"Requests served by their owning replica, by peer.", "peer")
+	rt.mFailovers = m.CounterVec("filterd_router_failovers_total",
+		"Forwards that fell back to the local deterministic solve, by peer.", "peer")
+	rt.mRetries = m.CounterVec("filterd_router_retries_total",
+		"Forward re-attempts after a transient failure, by peer.", "peer")
+	rt.mBreakerState = m.GaugeVec("filterd_router_breaker_state",
+		"Peer breaker position: 0 closed, 1 open, 2 half-open.", "peer")
+	rt.mBreakerOpens = m.CounterVec("filterd_router_breaker_opens_total",
+		"Transitions of the peer's breaker into Open.", "peer")
+	rt.mForwardSeconds = m.Histogram("filterd_router_forward_seconds",
+		"Latency of committed forwards in seconds.", nil)
+
+	m.CounterFunc("filterd_router_local_served_total",
+		"Requests answered by the embedded service (owned locally, unroutable, or failovers).",
+		func() float64 { return float64(rt.localServed.Load()) })
+	m.GaugeFunc("filterd_router_peers",
+		"Configured replicas.", func() float64 { return float64(len(rt.peers)) })
+	m.GaugeFunc("filterd_router_peers_up",
+		"Replicas whose breaker is not open.",
+		func() float64 { return float64(rt.Stats().PeersUp) })
+	m.GaugeFunc("filterd_router_shards",
+		"Shard count 2^ShardBits.", func() float64 { return float64(int(1) << rt.cfg.ShardBits) })
+
+	m.OnScrape(func() {
+		for _, p := range rt.peers {
+			rt.mBreakerState.With(p.url).Set(float64(p.breaker.State()))
+			rt.mBreakerOpens.With(p.url).Set(p.breaker.Opens())
+		}
+	})
+}

@@ -48,6 +48,10 @@ type Stats struct {
 	Misses    int64
 	Coalesced int64
 	Evictions int64
+	// Seeded counts entries inserted by Seed (the persistent store's
+	// warm-load path) — they never touch the hit/miss counters, so
+	// without this the warm-start population is invisible to metrics.
+	Seeded int64
 	// Len is the number of completed entries currently cached; InFlight the
 	// number of solves currently running; Cap the capacity bound.
 	Len      int
@@ -74,7 +78,7 @@ type Cache[V any] struct {
 	lru      *list.List // completed entries, most recent at the front
 	inFlight int
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, evictions, seeded int64
 }
 
 // New returns a cache bounded to capacity completed entries (minimum 1).
@@ -148,6 +152,7 @@ func (c *Cache[V]) Seed(key string, val V) bool {
 	close(e.ready)
 	c.entries[key] = e
 	e.elem = c.lru.PushFront(e)
+	c.seeded++
 	c.evictLocked()
 	return true
 }
@@ -202,6 +207,7 @@ func (c *Cache[V]) Stats() Stats {
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Seeded:    c.seeded,
 		Len:       c.lru.Len(),
 		InFlight:  c.inFlight,
 		Cap:       c.capacity,

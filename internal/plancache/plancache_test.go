@@ -244,3 +244,13 @@ func TestSeed(t *testing.T) {
 		t.Errorf("stats after overflow = %+v", st)
 	}
 }
+
+func TestSeedCountsSeeded(t *testing.T) {
+	c := New[int](4)
+	c.Seed("a", 1)
+	c.Seed("b", 2)
+	c.Seed("a", 9) // duplicate: rejected, not counted
+	if st := c.Stats(); st.Seeded != 2 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats after seeding = %+v, want Seeded 2 and untouched hit/miss", st)
+	}
+}

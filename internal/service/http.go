@@ -12,7 +12,8 @@ package service
 //	POST  /v1/batch           plan many instances in one request
 //	PATCH /v1/instance/{hash} drift re-planning against a registered instance
 //	GET   /v1/subscribe/{hash} server-sent re-plan events for a registered instance
-//	GET   /v1/stats           cache/queue/solve/store/subscription counters
+//	GET   /v1/stats           cache/queue/solve/store/subscription counters (JSON)
+//	GET   /metrics            Prometheus text format (internal/metrics)
 //
 // Every handler runs under the request's context: a client that
 // disconnects or times out aborts its own solve (the search loops poll
@@ -26,7 +27,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cliopt"
 	"repro/internal/plancache"
@@ -43,11 +46,17 @@ const maxBodyBytes = 4 << 20
 // convention; Go's stdlib has no name for it.
 const StatusClientClosedRequest = 499
 
-// errStatus maps a service error to its response status: context death is
-// the client's doing (499), validation problems are 422, everything else
-// stays a server-side 500.
+// errStatus maps a service error to its response status: shed admissions
+// are 429 (retry after the burst), a closing server is 503, context death
+// is the client's doing (499), validation problems are 422, everything
+// else stays a server-side 500.
 func errStatus(err error, fallback int) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return StatusClientClosedRequest
 	}
 	return fallback
@@ -191,6 +200,7 @@ type statsJSON struct {
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheCoalesced int64 `json:"cache_coalesced"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSeeded    int64 `json:"cache_seeded"`
 	CacheLen       int   `json:"cache_len"`
 	CacheCap       int   `json:"cache_cap"`
 	InFlight       int   `json:"in_flight"`
@@ -201,6 +211,10 @@ type statsJSON struct {
 	Registered     int   `json:"registered_instances"`
 	QueueDepth     int   `json:"queue_depth"`
 	Workers        int   `json:"workers"`
+	// Backpressure counters (Config.MaxPending watermark).
+	Shed       int64 `json:"shed"`
+	Pending    int   `json:"pending"`
+	MaxPending int   `json:"max_pending"`
 	// Persistence (internal/store) and drift-subscription counters.
 	Persistent      bool  `json:"persistent"`
 	StoreWrites     int64 `json:"store_writes,omitempty"`
@@ -224,10 +238,53 @@ type eventJSON struct {
 	NewValue rat.Rat `json:"new_value"`
 }
 
+// statusWriter records the committed status code for the request
+// counter. It forwards Flush so instrumented SSE streams still flush
+// event by event.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps a route handler with the request counter and latency
+// histogram (subscribe streams record their whole lifetime — their
+// latency series measures stream duration, not time-to-first-byte).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.mRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.mLatency.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
 // Handler returns the HTTP API of the server.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /metrics", s.metrics.Handler())
+	mux.HandleFunc("POST /v1/plan", s.instrument("plan", func(w http.ResponseWriter, r *http.Request) {
 		var doc planRequestJSON
 		if !decodeBody(w, r, &doc) {
 			return
@@ -248,9 +305,9 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, out)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", func(w http.ResponseWriter, r *http.Request) {
 		var doc batchRequestJSON
 		if !decodeBody(w, r, &doc) {
 			return
@@ -292,9 +349,9 @@ func Handler(s *Server) http.Handler {
 			out.Results[i] = batchItemJSON{Plan: &pr}
 		}
 		writeJSON(w, http.StatusOK, out)
-	})
+	}))
 
-	mux.HandleFunc("PATCH /v1/instance/{hash}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("PATCH /v1/instance/{hash}", s.instrument("drift", func(w http.ResponseWriter, r *http.Request) {
 		hash := r.PathValue("hash")
 		if _, ok := s.Instance(hash); !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("service: no registered instance with hash %s", hash))
@@ -352,9 +409,9 @@ func Handler(s *Server) http.Handler {
 			out.Incumbent = &inc
 		}
 		writeJSON(w, http.StatusOK, out)
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/subscribe/{hash}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/subscribe/{hash}", s.instrument("subscribe", func(w http.ResponseWriter, r *http.Request) {
 		hash := r.PathValue("hash")
 		if _, ok := s.Instance(hash); !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("service: no registered instance with hash %s", hash))
@@ -407,9 +464,9 @@ func Handler(s *Server) http.Handler {
 				fl.Flush()
 			}
 		}
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		writeJSON(w, http.StatusOK, statsJSON{
 			CacheHits:       st.Cache.Hits,
@@ -437,8 +494,12 @@ func Handler(s *Server) http.Handler {
 			MemoMisses:      st.MemoMisses,
 			MemoLen:         st.MemoLen,
 			MemoEvictions:   st.MemoEvictions,
+			Shed:            st.Shed,
+			Pending:         st.Pending,
+			MaxPending:      st.MaxPending,
+			CacheSeeded:     st.Cache.Seeded,
 		})
-	})
+	}))
 
 	return mux
 }
@@ -476,6 +537,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// retryAfterSeconds is the Retry-After value of shed (429) and
+// shutting-down (503) responses: bursts are short-lived relative to
+// solves, so one second is a reasonable first backoff.
+const retryAfterSeconds = "1"
+
 func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

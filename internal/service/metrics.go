@@ -1,0 +1,100 @@
+package service
+
+// Operational metrics of the planning service (DESIGN.md §4): the
+// Prometheus-text surface served at GET /metrics by Handler. The JSON
+// counters of /v1/stats stay for compatibility; this is the layer
+// collectors scrape. Hot-path instruments (request latency, solver wall
+// time) are real histograms updated inline; everything already tracked
+// by an existing counter — cache, memo, store, subscription stats — is
+// published as a callback read at scrape time, so there is exactly one
+// source of truth per number.
+
+import "repro/internal/metrics"
+
+// initMetrics registers the server's families into its registry. Called
+// once from New; a second server must use its own registry (names
+// register once).
+func (s *Server) initMetrics() {
+	m := s.metrics
+	s.mRequests = m.CounterVec("filterd_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.mLatency = m.HistogramVec("filterd_http_request_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route")
+	s.mSolveSeconds = m.Histogram("filterd_solve_seconds",
+		"Solver wall time in seconds per executed solve (cache hits excluded).", nil)
+
+	m.GaugeFunc("filterd_queue_depth",
+		"Solves currently buffered in the intake queue.",
+		func() float64 { return float64(len(s.queue)) })
+	m.GaugeFunc("filterd_pending_solves",
+		"Admitted-but-unfinished solves (queued, waiting for a slot, or running).",
+		func() float64 { return float64(s.pending.Load()) })
+	m.GaugeFunc("filterd_max_pending",
+		"Load-shedding watermark: admissions beyond it are rejected with 429.",
+		func() float64 { return float64(s.cfg.MaxPending) })
+	m.GaugeFunc("filterd_workers",
+		"Solver pool size draining the intake queue.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.CounterFunc("filterd_shed_total",
+		"Admissions rejected by the MaxPending watermark (HTTP 429).",
+		func() float64 { return float64(s.shed.Load()) })
+
+	m.CounterFunc("filterd_plan_requests_total",
+		"Plan requests (batch items included).",
+		func() float64 { return float64(s.planRequests.Load()) })
+	m.CounterFunc("filterd_drift_requests_total",
+		"Drift re-planning requests.",
+		func() float64 { return float64(s.driftRequests.Load()) })
+	m.CounterFunc("filterd_rejected_total",
+		"Requests rejected at validation.",
+		func() float64 { return float64(s.rejected.Load()) })
+	m.CounterFunc("filterd_solves_total",
+		"Solver runs actually executed on the pool.",
+		func() float64 { return float64(s.solves.Load()) })
+
+	m.CounterFunc("filterd_plancache_hits_total",
+		"Plan-cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+	m.CounterFunc("filterd_plancache_misses_total",
+		"Plan-cache misses (solves led).", func() float64 { return float64(s.cache.Stats().Misses) })
+	m.CounterFunc("filterd_plancache_coalesced_total",
+		"Requests coalesced onto a concurrent identical solve.",
+		func() float64 { return float64(s.cache.Stats().Coalesced) })
+	m.CounterFunc("filterd_plancache_evictions_total",
+		"Plan-cache LRU evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
+	m.CounterFunc("filterd_plancache_seeded_total",
+		"Entries warm-loaded from the persistent store at startup.",
+		func() float64 { return float64(s.cache.Stats().Seeded) })
+	m.GaugeFunc("filterd_plancache_entries",
+		"Completed plan-cache entries.", func() float64 { return float64(s.cache.Stats().Len) })
+	m.GaugeFunc("filterd_plancache_inflight",
+		"Solves currently running under the cache's singleflight.",
+		func() float64 { return float64(s.cache.Stats().InFlight) })
+
+	m.CounterFunc("filterd_memo_hits_total",
+		"Service-wide orchestration-memo hits.", func() float64 { return float64(s.memo.Hits()) })
+	m.CounterFunc("filterd_memo_misses_total",
+		"Service-wide orchestration-memo misses.", func() float64 { return float64(s.memo.Misses()) })
+	m.GaugeFunc("filterd_memo_entries",
+		"Orchestration-memo entries.", func() float64 { return float64(s.memo.Len()) })
+
+	m.GaugeFunc("filterd_subscribers",
+		"Open drift-subscription streams.", func() float64 { return float64(s.hub.subscribers()) })
+	m.CounterFunc("filterd_subscribe_events_total",
+		"Re-plan events delivered to subscribers.",
+		func() float64 { return float64(s.hub.published.Load()) })
+	m.CounterFunc("filterd_subscribe_dropped_total",
+		"Re-plan events lost to full subscriber buffers.",
+		func() float64 { return float64(s.hub.dropped.Load()) })
+
+	if s.cfg.Store != nil {
+		m.CounterFunc("filterd_store_writes_total",
+			"Plans persisted write-through.", func() float64 { return float64(s.cfg.Store.Stats().Writes) })
+		m.CounterFunc("filterd_store_write_errors_total",
+			"Failed persistence attempts (requests unaffected).",
+			func() float64 { return float64(s.cfg.Store.Stats().WriteErrors) })
+	}
+}
+
+// Metrics returns the server's registry — cmd/filterd shares it with the
+// cluster router so one /metrics page covers the whole process.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }

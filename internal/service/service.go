@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/canon"
+	"repro/internal/metrics"
 	"repro/internal/orchestrate"
 	"repro/internal/par"
 	"repro/internal/plan"
@@ -52,6 +54,13 @@ import (
 
 // ErrClosed is returned by requests submitted after Close.
 var ErrClosed = errors.New("service: server closed")
+
+// ErrOverloaded is returned by solve admissions beyond Config.MaxPending:
+// the intake backpressure signal. The HTTP layer maps it to 429 with a
+// Retry-After header; the request was shed before touching the queue, so
+// nothing about it is cached and an immediate retry is safe (if the
+// burst has passed).
+var ErrOverloaded = errors.New("service: overloaded")
 
 // Config tunes a Server. The zero value requests defaults.
 type Config struct {
@@ -81,6 +90,21 @@ type Config struct {
 	// affecting parameter and orchestration is deterministic, so a hit is
 	// bit-identical to recomputing.
 	MemoSize int
+	// MaxPending is the load-shedding watermark: the most admitted-but-
+	// unfinished solves (queued, waiting for a queue slot, or running) the
+	// server holds before shedding. An admission beyond it fails
+	// immediately with ErrOverloaded instead of ballooning goroutines and
+	// latency under a burst. 0 = QueueSize + 2×Workers (the queue buffer,
+	// a full complement of running solves, and as many again blocked at
+	// the queue). Cache hits are never shed — they cost no solver time.
+	MaxPending int
+	// Metrics, when non-nil, is the registry the server publishes its
+	// operational metrics into (request latency, solver wall time, cache
+	// and memo counters, queue depth, shed count — served at GET /metrics
+	// by Handler). nil creates a private registry, so embedded servers in
+	// tests never collide. Share one registry per process at most once:
+	// metric names are registered once per server lifetime.
+	Metrics *metrics.Registry
 	// Store, when non-nil, persists every successful solve write-through
 	// and is warm-loaded into the plan cache (and the drift registry) at
 	// New, so a restarted server answers previously solved requests as
@@ -200,6 +224,12 @@ type Stats struct {
 	Registered int
 	QueueDepth int
 	Workers    int
+	// Shed counts admissions rejected by the MaxPending watermark;
+	// Pending the currently admitted-but-unfinished solves; MaxPending
+	// the watermark itself.
+	Shed       int64
+	Pending    int
+	MaxPending int
 	// Persistent reports whether a plan store is attached; Store its
 	// counters (zero value otherwise).
 	Persistent bool
@@ -261,6 +291,18 @@ type Server struct {
 	driftRequests atomic.Int64
 	rejected      atomic.Int64
 	solves        atomic.Int64
+	// pending counts admitted-but-unfinished solves; shed the admissions
+	// rejected at the MaxPending watermark (backpressure).
+	pending atomic.Int64
+	shed    atomic.Int64
+
+	// metrics is the operational surface served at GET /metrics;
+	// mRequests/mLatency instrument the HTTP routes, mSolveSeconds the
+	// solver wall time of every executed solve.
+	metrics       *metrics.Registry
+	mRequests     *metrics.CounterVec
+	mLatency      *metrics.HistogramVec
+	mSolveSeconds *metrics.Histogram
 }
 
 // orchWorkers is the worker budget one inner solve may hand down to the
@@ -284,6 +326,12 @@ func (s *Server) orchWorkers() int {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cfg.Workers = par.Workers(cfg.Workers)
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = cfg.QueueSize + 2*cfg.Workers
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    plancache.New[cacheEntry](cfg.CacheSize),
@@ -291,7 +339,9 @@ func New(cfg Config) *Server {
 		registry: plancache.New[*canon.Instance](cfg.RegistrySize),
 		memo:     orchestrate.NewMemo(cfg.MemoSize),
 		closing:  make(chan struct{}),
+		metrics:  cfg.Metrics,
 	}
+	s.initMetrics()
 	// Warm load: replay the persisted plans into the LRU and the drift
 	// registry before the first request, so a restarted replica answers
 	// previously solved requests as warm hits bit-identical to
@@ -346,10 +396,14 @@ func (s *Server) EndSubscriptions() {
 // subscription streams.
 func (s *Server) Closing() <-chan struct{} { return s.closing }
 
-// submit runs fn on a pool worker and waits for it. A request whose
-// context dies while still queued gives its queue slot back without ever
-// reaching a worker; once a worker picked fn up, submit waits for it to
-// finish (fn's own solve watches the same context, so a canceled request
+// submit runs fn on a pool worker and waits for it. Admission is gated
+// by the MaxPending watermark: beyond it the request is shed immediately
+// with ErrOverloaded — a burst degrades into fast 429s instead of
+// ballooning goroutines and queue latency (shed requests never reach the
+// pool, and their errors are never cached). A request whose context dies
+// while still queued gives its queue slot back without ever reaching a
+// worker; once a worker picked fn up, submit waits for it to finish
+// (fn's own solve watches the same context, so a canceled request
 // returns promptly with the context error instead of burning the pool).
 func (s *Server) submit(ctx context.Context, fn func()) error {
 	t := task{fn: fn, done: make(chan struct{})}
@@ -358,6 +412,14 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
+	if p := s.pending.Add(1); p > int64(s.cfg.MaxPending) {
+		s.pending.Add(-1)
+		s.shed.Add(1)
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: %d solves already pending (limit %d)",
+			ErrOverloaded, p-1, s.cfg.MaxPending)
+	}
+	defer s.pending.Add(-1)
 	var cancelled <-chan struct{}
 	if ctx != nil {
 		cancelled = ctx.Done()
@@ -486,6 +548,7 @@ retry:
 		var solveErr error
 		submitErr := s.submit(ctx, func() {
 			s.solves.Add(1)
+			start := time.Now()
 			opts := req.solveOptions(ctx, s.orchWorkers())
 			opts.Incumbent = incumbent
 			// Every pool solve shares the server memo: identical weighted
@@ -497,6 +560,7 @@ retry:
 			} else {
 				sol, solveErr = solve.MinLatency(inst.App(), req.Model, opts)
 			}
+			s.mSolveSeconds.Observe(time.Since(start).Seconds())
 		})
 		if submitErr != nil {
 			return cacheEntry{}, submitErr
@@ -728,6 +792,9 @@ func (s *Server) Stats() Stats {
 		Registered:      registered,
 		QueueDepth:      len(s.queue),
 		Workers:         s.cfg.Workers,
+		Shed:            s.shed.Load(),
+		Pending:         int(s.pending.Load()),
+		MaxPending:      s.cfg.MaxPending,
 		Subscribers:     s.hub.subscribers(),
 		EventsPublished: s.hub.published.Load(),
 		EventsDropped:   s.hub.dropped.Load(),

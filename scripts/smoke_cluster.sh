@@ -3,7 +3,9 @@
 # plan testdata/webquery8.json through the router, require the routed
 # answer to match the filterplan CLI on the same canonical instance, then
 # kill the owning replica mid-run and require the router to fail over to
-# its local solve with the identical value.
+# its local solve with the identical value — and require the dead peer's
+# circuit breaker to open on the router's /metrics page, with the per-peer
+# failover counter moving and the replicas' own /metrics alive.
 # No dependencies beyond a POSIX shell and curl (JSON and headers are
 # picked apart with sed so CI images without jq work too).
 set -eu
@@ -84,4 +86,42 @@ echo "smoke-cluster: failover value=$FAILOVER_VALUE served-by=$SERVED_BY2 failov
 [ "$FAILOVER_VALUE" = "$CLI_VALUE" ] || { echo "smoke-cluster: failover answer disagrees" >&2; exit 1; }
 [ "$SERVED_BY2" = "local-failover" ] || { echo "smoke-cluster: request was not failed over locally" >&2; exit 1; }
 [ -n "$FAILOVERS" ] && [ "$FAILOVERS" -ge 1 ] || { echo "smoke-cluster: router counted no failover" >&2; exit 1; }
+
+# The dead peer's circuit breaker must open within K failed forwards:
+# keep sending requests (each is a failed forward plus its retries) until
+# the router's /metrics reports breaker state 1 (open) for that peer.
+METRICS="$BIN/metrics.txt"
+i=0
+while :; do
+    curl -sf "http://127.0.0.1:$ROUTER_PORT/metrics" >"$METRICS"
+    if grep -q "filterd_router_breaker_state{peer=\"$OWNER\"} 1" "$METRICS"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 10 ]; then
+        echo "smoke-cluster: breaker for $OWNER never opened" >&2
+        grep '^filterd_router_breaker' "$METRICS" >&2 || true
+        exit 1
+    fi
+    curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" >/dev/null || true
+    sleep 0.2
+done
+echo "smoke-cluster: breaker open for $OWNER after $i extra requests"
+
+# Per-peer failover counter moved, and with the breaker open the answers
+# stay bit-identical to the CLI (the breaker decides who solves, never
+# what the answer is).
+grep -q "filterd_router_failovers_total{peer=\"$OWNER\"}" "$METRICS" \
+    || { echo "smoke-cluster: no per-peer failover counter on /metrics" >&2; exit 1; }
+OPEN_VALUE=$(curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
+    | sed -n 's/.*"value": "\([^"]*\)".*/\1/p' | head -1)
+[ "$OPEN_VALUE" = "$CLI_VALUE" ] || { echo "smoke-cluster: answer under open breaker disagrees" >&2; exit 1; }
+
+# The surviving replica serves its own Prometheus page.
+case "$OWNER" in
+    *":$REP1_PORT") ALIVE_PORT=$REP2_PORT ;;
+    *) ALIVE_PORT=$REP1_PORT ;;
+esac
+curl -sf "http://127.0.0.1:$ALIVE_PORT/metrics" | grep -q '^filterd_queue_depth' \
+    || { echo "smoke-cluster: replica /metrics missing filterd_queue_depth" >&2; exit 1; }
 echo "smoke-cluster: OK"
