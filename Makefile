@@ -38,12 +38,14 @@ test-race:
 	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
-# Allocation-regression guards on the orchestration inner loop
+# Allocation-regression guards: the orchestration inner loop
 # (AllocsPerRun budgets for the patch+bound cycle, repeat bound queries,
-# and the zero-alloc one-port value path). Must run unraced — the guards
-# self-skip under -race because instrumentation inflates the counts.
+# and the zero-alloc one-port value path) and the service cache-hit path
+# (tracing spans must add zero allocations when disabled). Must run
+# unraced — the guards self-skip under -race because instrumentation
+# inflates the counts.
 test-alloc:
-	$(GO) test -count=1 -run AllocBudget ./internal/orchestrate/
+	$(GO) test -count=1 -run AllocBudget ./internal/orchestrate/ ./internal/service/
 
 # One pass over every benchmark, including the parallel-vs-serial pairs.
 bench:

@@ -18,10 +18,21 @@
 // canonical hash's shard (-shard-bits prefix bits), with health checks
 // and local-solve failover.
 //
+// Observability (DESIGN.md §7): every request carries an
+// X-Filterd-Request-Id (inbound honored, otherwise generated) echoed on
+// every response and threaded through log lines, the span ring at
+// GET /debug/requests, and the plan-provenance endpoint
+// GET /v1/explain/{hash}. Logs are structured (log/slog); -log-format
+// json emits one JSON object per line for collectors. -debug-addr
+// starts a second, private HTTP server with net/http/pprof and the span
+// ring, so profiling never has to share the public listener.
+//
 // Usage:
 //
 //	filterd [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-services N]
 //	        [-data-dir DIR] [-peers URL,URL,...] [-shard-bits B]
+//	        [-log-level info] [-log-format text] [-trace-requests N]
+//	        [-debug-addr ADDR] [-version]
 //
 // API (JSON; instances use the filterplan -in file format, schedules the
 // oplist codec):
@@ -30,11 +41,16 @@
 //	POST  /v1/batch            {"requests": [{...}, ...]}
 //	PATCH /v1/instance/{hash}  {"updates": [{"service": "C3", "cost": "7/2"}], "model": ...}
 //	GET   /v1/subscribe/{hash} server-sent events: one "replan" event per objective change
+//	GET   /v1/explain/{hash}   provenance of the last serve: method, family, source
+//	                           (cache|store|solve|failover), search-effort counters, timings
+//	GET   /v1/healthz          liveness: status, version, VCS revision
 //	GET   /v1/stats            JSON counters (compat)
-//	GET   /metrics             Prometheus text format: request latency, solver wall
-//	                           time, cache/memo hit rates, queue depth and shed
-//	                           counts — plus, in router mode, per-peer forward,
-//	                           failover and circuit-breaker state
+//	GET   /metrics             Prometheus text format: request latency, per-phase and solver
+//	                           wall time, search-effort totals, cache/memo hit rates, queue
+//	                           depth and shed counts — plus, in router mode, per-peer
+//	                           forward, failover and circuit-breaker state
+//	GET   /debug/requests      the most recent request spans (bounded ring; empty when
+//	                           -trace-requests is 0)
 //
 // Example (single replica with persistence):
 //
@@ -43,9 +59,11 @@
 //	     -d "{\"instance\": $(cat testdata/webquery8.json), \"model\": \"inorder\"}"
 //
 // Example (2-replica cluster): see scripts/smoke_cluster.sh, which boots
-// two replicas plus a router and exercises routing and failover.
+// two replicas plus a router and exercises routing, failover, and the
+// request-ID round-trip.
 //
-// See examples/service for a complete end-to-end program.
+// See examples/service for a complete end-to-end program, including the
+// log line → /debug/requests → /v1/explain correlation walkthrough.
 package main
 
 import (
@@ -53,8 +71,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +82,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -78,21 +98,41 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "persistent plan store directory (empty: in-memory only)")
 		peers       = flag.String("peers", "", "comma-separated replica base URLs; when set, run as the cluster router")
 		shardBits   = flag.Int("shard-bits", 8, "canonical-hash prefix bits for cluster sharding (2^B shards)")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		logFormat   = flag.String("log-format", "text", "log line format: text or json")
+		traceReqs   = flag.Int("trace-requests", 256, "request spans kept for GET /debug/requests (0 disables tracing)")
+		debugAddr   = flag.String("debug-addr", "", "private listen address for net/http/pprof and /debug/requests (empty: disabled)")
+		showVersion = flag.Bool("version", false, "print version and VCS revision, then exit")
 	)
 	flag.Parse()
 
+	version, revision := obs.BuildInfo()
+	if *showVersion {
+		fmt.Printf("filterd %s (%s)\n", version, revision)
+		return
+	}
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	// The default logger feeds the few slog.Warn call sites deep in the
+	// service's write paths (they have no Server receiver to reach s.logger).
+	slog.SetDefault(logger)
+
 	var st *store.Store
 	if *dataDir != "" {
-		var err error
 		st, err = store.Open(*dataDir)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	// One registry for the whole process: the service's filterd_* families
-	// and (in router mode) the cluster's filterd_router_* families share
-	// the same GET /metrics page.
+	// One span ring and one registry for the whole process: in router mode
+	// the router's middleware owns the spans (the embedded service
+	// annotates them), and the service's filterd_* families share the
+	// GET /metrics page with the cluster's filterd_router_* families.
+	tracer := obs.NewTracer(*traceReqs)
 	reg := metrics.New()
 	srv := service.New(service.Config{
 		Workers:     *workers,
@@ -102,10 +142,12 @@ func main() {
 		MaxServices: *maxServices,
 		Store:       st,
 		Metrics:     reg,
+		Tracer:      tracer,
+		Logger:      logger,
 	})
 	if st != nil {
 		ls := st.Stats()
-		log.Printf("filterd: warm-loaded %d plans from %s (%d skipped)", ls.Loaded, *dataDir, ls.Skipped)
+		logger.Info("warm-loaded persisted plans", "dir", *dataDir, "loaded", ls.Loaded, "skipped", ls.Skipped)
 	}
 
 	handler := http.Handler(service.Handler(srv))
@@ -115,19 +157,31 @@ func main() {
 		for i := range peerList {
 			peerList[i] = strings.TrimSpace(peerList[i])
 		}
-		var err error
 		router, err = cluster.New(cluster.Config{
 			Peers:     peerList,
 			ShardBits: *shardBits,
 			Local:     srv,
 			Metrics:   reg,
+			Tracer:    tracer,
+			Logger:    logger,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		handler = router
-		log.Printf("filterd: routing %d shards across %d peers (local failover attached)",
-			1<<*shardBits, len(peerList))
+		logger.Info("routing shards across peers (local failover attached)",
+			"shards", 1<<*shardBits, "peers", len(peerList))
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = newDebugServer(*debugAddr, tracer)
+		go func() {
+			if derr := debugSrv.ListenAndServe(); derr != nil && !errors.Is(derr, http.ErrServerClosed) {
+				logger.Error("debug server failed", "addr", *debugAddr, "err", derr)
+			}
+		}()
+		logger.Info("debug server listening", "addr", *debugAddr)
 	}
 
 	httpSrv := &http.Server{
@@ -145,14 +199,15 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	log.Printf("filterd: listening on %s (workers=%d cache=%d)", *addr, srv.Stats().Workers, *cacheSize)
+	logger.Info("listening", "addr", *addr, "workers", srv.Stats().Workers, "cache", *cacheSize,
+		"version", version, "revision", revision)
 	select {
 	case err := <-done:
 		// ListenAndServe only returns on failure (e.g. port in use).
-		shutdown(srv, router, st)
+		shutdown(logger, srv, router, st, debugSrv)
 		fatal(err)
 	case s := <-sig:
-		log.Printf("filterd: %v — shutting down", s)
+		logger.Info("shutting down on signal", "signal", s.String())
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests under a
@@ -160,28 +215,75 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("filterd: shutdown: %v", err)
+		logger.Warn("shutdown drain incomplete", "err", err)
 	}
-	shutdown(srv, router, st)
+	shutdown(logger, srv, router, st, debugSrv)
 	stats := srv.Stats()
-	log.Printf("filterd: served %d plan requests (%d hits, %d coalesced, %d solves)",
-		stats.PlanRequests, stats.Cache.Hits, stats.Cache.Coalesced, stats.Solves)
+	logger.Info("served", "plan_requests", stats.PlanRequests, "cache_hits", stats.Cache.Hits,
+		"coalesced", stats.Cache.Coalesced, "solves", stats.Solves)
 }
 
-// shutdown releases the daemon's moving parts in dependency order: router
-// health loop, solver pool, then the store flush (every entry is already
-// on disk write-through; the flush forces directory metadata out too).
-func shutdown(srv *service.Server, router *cluster.Router, st *store.Store) {
+// newLogger builds the process logger from the -log-level and -log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// newDebugServer builds the private observability listener: pprof (the
+// expensive, potentially sensitive profiling surface stays off the public
+// address) plus the same span ring the public /debug/requests serves.
+func newDebugServer(addr string, tracer *obs.Tracer) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/requests", tracer.Handler())
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+}
+
+// shutdown releases the daemon's moving parts in dependency order: debug
+// listener, router health loop, solver pool, then the store flush (every
+// entry is already on disk write-through; the flush forces directory
+// metadata out too).
+func shutdown(logger *slog.Logger, srv *service.Server, router *cluster.Router, st *store.Store, debugSrv *http.Server) {
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		debugSrv.Shutdown(ctx)
+		cancel()
+	}
 	if router != nil {
 		router.Close()
 	}
 	srv.Close()
 	if st != nil {
 		if err := st.Flush(); err != nil {
-			log.Printf("filterd: store flush: %v", err)
+			logger.Warn("store flush failed", "err", err)
 		} else {
 			ss := st.Stats()
-			log.Printf("filterd: store flushed (%d writes this run, %d write errors)", ss.Writes, ss.WriteErrors)
+			logger.Info("store flushed", "writes", ss.Writes, "write_errors", ss.WriteErrors)
 		}
 	}
 }

@@ -2,13 +2,16 @@
 // drive its HTTP API end to end — plan an instance, hit the cache with an
 // equivalent permuted listing, batch-plan, subscribe to re-plan events,
 // drift a cost and watch the warm-started re-plan push one event, restart
-// the service over its persistent store and get the same answer warm, and
+// the service over its persistent store and get the same answer warm,
+// follow one request ID from the response header through the span ring
+// (/debug/requests) to the plan's provenance record (/v1/explain), and
 // read the counters — JSON via /v1/stats and Prometheus text via
 // /metrics (what a collector scrapes).
 //
 // The same API is served standalone by `go run ./cmd/filterd` (add
-// -data-dir for persistence, -peers for the cluster router); everything
-// below works unchanged against it (replace the test listener's URL).
+// -data-dir for persistence, -peers for the cluster router, -log-format
+// json for structured logs); everything below works unchanged against it
+// (replace the test listener's URL).
 package main
 
 import (
@@ -17,11 +20,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -38,7 +43,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := service.New(service.Config{Workers: 2, Store: st})
+	// Tracer: a 64-span ring behind GET /debug/requests (filterd's
+	// -trace-requests flag). Logger: every daemon log line is structured
+	// and carries the request_id of the request that caused it (filterd's
+	// -log-level / -log-format flags).
+	srv := service.New(service.Config{
+		Workers: 2,
+		Store:   st,
+		Tracer:  obs.NewTracer(64),
+		Logger:  slog.New(slog.NewTextHandler(os.Stdout, nil)),
+	})
 	defer srv.Close()
 	ts := httptest.NewServer(service.Handler(srv))
 	defer ts.Close()
@@ -124,6 +138,42 @@ func main() {
 		`{"instance": %s, "model": "inorder", "objective": "period"}`, instance))
 	fmt.Printf("  period %s (outcome: %s — no solve after the restart; value unchanged: %v)\n",
 		replay["value"], replay["outcome"], replay["value"] == plan1["value"])
+
+	fmt.Println("== observability: one ID from response header to span to explain ==")
+	// Send a request with a client-chosen X-Filterd-Request-Id (omit it
+	// and the service generates one); the same ID comes back on the
+	// response, names the request's span in /debug/requests, and tags the
+	// plan's provenance record — and any daemon log line it caused.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", strings.NewReader(fmt.Sprintf(
+		`{"instance": %s, "model": "inorder", "objective": "period", "method": "bnb"}`, instance)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, "example-rid-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traced := decode(resp)
+	fmt.Printf("  response header %s: %s\n", obs.HeaderRequestID, resp.Header.Get(obs.HeaderRequestID))
+
+	ring := get(ts.URL + "/debug/requests")
+	for _, s := range ring["spans"].([]any) {
+		span := s.(map[string]any)
+		if span["id"] != "example-rid-1" {
+			continue
+		}
+		fmt.Printf("  span: route=%v status=%v outcome=%v source=%v\n",
+			span["route"], span["status"], span["outcome"], span["source"])
+		break
+	}
+
+	explain := get(fmt.Sprintf("%s/v1/explain/%s", ts.URL, traced["hash"]))
+	solver := explain["solver"].(map[string]any)
+	fmt.Printf("  explain: request_id=%v method=%v source=%v\n",
+		explain["request_id"], explain["method"], explain["source"])
+	fmt.Printf("  search effort: %v nodes expanded, %v pruned, %v candidates evaluated\n",
+		solver["expanded"], solver["pruned"], solver["evaluated"])
 
 	fmt.Println("== GET /v1/stats ==")
 	stats := get(ts.URL + "/v1/stats")

@@ -30,6 +30,17 @@
 // repository's determinism invariant extended across the wire. The
 // breaker and the retry decide only WHO computes an answer, never what
 // the answer is.
+//
+// Observability (DESIGN.md §7): the router is the request-ID boundary of
+// a deployment — obs.Middleware resolves the X-Filterd-Request-Id on the
+// way in, forwards carry it to the owning replica, and the local-failover
+// path hands the SAME span to the embedded service (whose middleware
+// passes through), so one request keeps one ID across every layer it
+// crosses. Spans record the routing verdict (shard, owner, served-by);
+// breaker transitions and failovers log through a structured logger with
+// the peer and request ID attached. GET /v1/explain/{hash} routes by hash
+// like any other per-instance read, GET /v1/healthz answers from the
+// router itself, and GET /debug/requests serves the router's span ring.
 package cluster
 
 import (
@@ -38,6 +49,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -48,6 +60,7 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/workflow"
@@ -96,6 +109,13 @@ type Config struct {
 	// global timeout — per-request contexts bound the forwards, and
 	// subscribe streams must live arbitrarily long).
 	Client *http.Client
+	// Tracer records per-request spans for GET /debug/requests. Nil (or a
+	// zero-capacity tracer) disables recording; request IDs are still
+	// resolved and propagated.
+	Tracer *obs.Tracer
+	// Logger receives the router's structured log lines (breaker
+	// transitions, failovers). Nil discards them.
+	Logger *slog.Logger
 }
 
 // peer is one replica. Its breaker is the single health state machine:
@@ -137,12 +157,18 @@ type Stats struct {
 
 // Router is the gateway handler. Create with New, release with Close.
 type Router struct {
-	cfg    Config
-	peers  []*peer
-	local  http.Handler
-	client *http.Client
-	probe  *http.Client
-	mux    *http.ServeMux
+	cfg     Config
+	peers   []*peer
+	local   http.Handler
+	client  *http.Client
+	probe   *http.Client
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request-ID middleware
+	logger  *slog.Logger
+	tracer  *obs.Tracer
+
+	version  string
+	revision string
 
 	stop       chan struct{}
 	baseCtx    context.Context
@@ -204,6 +230,10 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	rt := &Router{
 		cfg:     cfg,
 		local:   service.Handler(cfg.Local),
@@ -211,14 +241,29 @@ func New(cfg Config) (*Router, error) {
 		probe:   &http.Client{},
 		stop:    make(chan struct{}),
 		metrics: cfg.Metrics,
+		logger:  logger,
+		tracer:  cfg.Tracer,
 	}
+	rt.version, rt.revision = obs.BuildInfo()
 	rt.baseCtx, rt.baseCancel = context.WithCancel(context.Background())
 	for _, u := range cfg.Peers {
+		peerURL := u
 		rt.peers = append(rt.peers, &peer{
 			url: u,
 			breaker: resilience.NewBreaker(resilience.BreakerConfig{
 				Threshold: cfg.BreakerThreshold,
 				Cooldown:  cfg.BreakerCooldown,
+				OnTransition: func(from, to resilience.State) {
+					// Opens isolate a peer — worth a warning; the rest
+					// (probe slots, recoveries) are informational.
+					level := slog.LevelInfo
+					if to == resilience.Open {
+						level = slog.LevelWarn
+					}
+					rt.logger.Log(context.Background(), level,
+						"peer breaker transition",
+						"peer", peerURL, "from", from.String(), "to", to.String())
+				},
 			}),
 		})
 	}
@@ -228,8 +273,12 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("PATCH /v1/instance/{hash}", rt.handleByHashPath)
 	rt.mux.HandleFunc("GET /v1/subscribe/{hash}", rt.handleByHashPath)
+	rt.mux.HandleFunc("GET /v1/explain/{hash}", rt.handleByHashPath)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	rt.mux.Handle("GET /metrics", rt.metrics.Handler())
+	rt.mux.Handle("GET /debug/requests", rt.tracer.Handler())
+	rt.handler = obs.Middleware(rt.tracer, rt.mux)
 	rt.healthWg.Add(1)
 	go rt.healthLoop()
 	return rt, nil
@@ -344,9 +393,10 @@ const (
 )
 
 // ServeHTTP routes /v1/* by canonical-hash prefix (the route table is
-// built once in New).
+// built once in New; the request-ID middleware wraps it, so every
+// response — routed, failed over, or shed — echoes X-Filterd-Request-Id).
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rt.mux.ServeHTTP(w, r)
+	rt.handler.ServeHTTP(w, r)
 }
 
 // planInstanceJSON is the slice of a plan request the router must see: the
@@ -517,6 +567,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	out := struct {
 		Role        string     `json:"role"`
+		Version     string     `json:"version"`
+		Revision    string     `json:"revision"`
 		Shards      int        `json:"shards"`
 		Forwarded   int64      `json:"forwarded"`
 		LocalServed int64      `json:"local_served"`
@@ -525,6 +577,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Peers       []peerJSON `json:"peers"`
 	}{
 		Role:        "router",
+		Version:     rt.version,
+		Revision:    rt.revision,
 		Shards:      st.Shards,
 		Forwarded:   st.Forwarded,
 		LocalServed: st.LocalServed,
@@ -542,6 +596,18 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz answers liveness from the router itself — no peer I/O, so
+// a load balancer probing it learns whether THIS process is up, not
+// whether the cluster behind it is healthy (that story is /v1/stats).
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Role     string `json:"role"`
+		Version  string `json:"version"`
+		Revision string `json:"revision"`
+	}{Status: "ok", Role: "router", Version: rt.version, Revision: rt.revision})
+}
+
 // route forwards one request to the owner of hash, falling back to the
 // local service when the owner is down (a hash the router cannot parse is
 // served locally too — the replica produces the canonical error). Routing
@@ -553,6 +619,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, hash, path strin
 		return
 	}
 	owner := rt.ownerOf(shard)
+	obs.From(r.Context()).SetShard(shard, owner.url)
 	h := w.Header()
 	h.Set("X-Filterd-Shard", strconv.Itoa(shard))
 	h.Set("X-Filterd-Shard-Owner", owner.url)
@@ -564,6 +631,9 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, hash, path strin
 	// owner's, so clients only notice via the Served-By header.
 	rt.failovers.Add(1)
 	rt.mFailovers.With(owner.url).Inc()
+	rt.logger.Warn("failing over to the local service",
+		"request_id", obs.From(r.Context()).ID(),
+		"path", path, "shard", shard, "owner", owner.url)
 	rt.serveLocal(w, r, body, "local-failover")
 }
 
@@ -607,6 +677,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 			return resilience.Permanent(err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		// Propagate the request ID so the owning replica's span and log
+		// lines correlate with the router's (the middleware guarantees
+		// r.Header carries the canonical ID).
+		if id := r.Header.Get(obs.HeaderRequestID); id != "" {
+			req.Header.Set(obs.HeaderRequestID, id)
+		}
 		start := time.Now()
 		resp, err := rt.client.Do(req)
 		if err != nil {
@@ -626,6 +702,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 			// fail over, only end.
 			p.seen.Store(true)
 			p.breaker.Success()
+			obs.From(r.Context()).SetServedBy(p.url)
 			rt.forwarded.Add(1)
 			rt.mForwards.With(p.url).Inc()
 			rt.mForwardSeconds.Observe(time.Since(start).Seconds())
@@ -648,6 +725,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 		}
 		p.seen.Store(true)
 		p.breaker.Success()
+		obs.From(r.Context()).SetServedBy(p.url)
 		rt.forwarded.Add(1)
 		rt.mForwards.With(p.url).Inc()
 		rt.mForwardSeconds.Observe(time.Since(start).Seconds())
@@ -665,11 +743,20 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 	return committed
 }
 
-// serveLocal answers from the embedded service.
+// serveLocal answers from the embedded service. The clone keeps the
+// router's context, so the embedded service's middleware passes through
+// and the service layer annotates the SAME span (one request, one span).
+// A failover is additionally marked on the context, so /v1/explain
+// reports source "failover" even when tracing is disabled.
 func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte, why string) {
 	rt.localServed.Add(1)
 	w.Header().Set("X-Filterd-Served-By", why)
-	req := r.Clone(r.Context())
+	ctx := r.Context()
+	if why == "local-failover" {
+		ctx = obs.MarkFailover(ctx)
+	}
+	obs.From(ctx).SetServedBy(why)
+	req := r.Clone(ctx)
 	req.Body = io.NopCloser(bytes.NewReader(body))
 	req.ContentLength = int64(len(body))
 	rt.local.ServeHTTP(w, req)

@@ -177,30 +177,46 @@ func memoKey(kind byte, m plan.Model, opts Options, w *plan.Weighted) string {
 // plan under identical options — bit-identical to recomputing, since
 // orchestration is deterministic.
 func PeriodMemo(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	res, _, err := PeriodMemoHit(memo, w, m, opts)
+	return res, err
+}
+
+// PeriodMemoHit is PeriodMemo reporting whether the Result came from the
+// memo — observational only (a hit is bit-identical to recomputing); the
+// introspection layer uses it to account memo effectiveness per request.
+func PeriodMemoHit(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, bool, error) {
 	if memo == nil {
-		return Period(w, m, opts)
+		res, err := Period(w, m, opts)
+		return res, false, err
 	}
 	key := memoKey('p', m, opts, w)
 	if res, err, ok := memo.lookup(key); ok {
-		return res, err
+		return res, true, err
 	}
 	res, err := Period(w, m, opts)
 	memo.store(key, res, err)
-	return res, err
+	return res, false, err
 }
 
 // LatencyMemo is Latency through a memo; see PeriodMemo.
 func LatencyMemo(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, error) {
+	res, _, err := LatencyMemoHit(memo, w, m, opts)
+	return res, err
+}
+
+// LatencyMemoHit is LatencyMemo reporting memo hits; see PeriodMemoHit.
+func LatencyMemoHit(memo *Memo, w *plan.Weighted, m plan.Model, opts Options) (Result, bool, error) {
 	if memo == nil {
-		return Latency(w, m, opts)
+		res, err := Latency(w, m, opts)
+		return res, false, err
 	}
 	key := memoKey('l', m, opts, w)
 	if res, err, ok := memo.lookup(key); ok {
-		return res, err
+		return res, true, err
 	}
 	res, err := Latency(w, m, opts)
 	memo.store(key, res, err)
-	return res, err
+	return res, false, err
 }
 
 // String renders the memo counters for stats reporting.

@@ -61,6 +61,11 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Now is the clock (default time.Now) — injectable for tests.
 	Now func() time.Time
+	// OnTransition, when set, observes every state change (from, to).
+	// It runs outside the breaker's lock, so it may log or call back into
+	// the breaker; consequently it can observe states slightly out of
+	// order under contention — acceptable for its observability purpose.
+	OnTransition func(from, to State)
 }
 
 // Breaker is a circuit breaker. Create with NewBreaker; all methods are
@@ -97,24 +102,29 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // rejected until the probe reports Success or Failure.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var moved bool
+	var allowed bool
 	switch b.state {
 	case Closed:
-		return true
+		allowed = true
 	case Open:
-		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
-			return false
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			moved = true
+			allowed = true
 		}
-		b.state = HalfOpen
-		b.probing = true
-		return true
 	default: // HalfOpen
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			allowed = true
 		}
-		b.probing = true
-		return true
 	}
+	b.mu.Unlock()
+	if moved {
+		b.notify(Open, HalfOpen)
+	}
+	return allowed
 }
 
 // Success records a successful interaction with the peer: the failure
@@ -123,10 +133,14 @@ func (b *Breaker) Allow() bool {
 // half-open probe or an out-of-band health check).
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = Closed
 	b.failures = 0
 	b.probing = false
+	b.mu.Unlock()
+	if from != Closed {
+		b.notify(from, Closed)
+	}
 }
 
 // Failure records a failed interaction. Closed: the streak grows, and at
@@ -136,17 +150,24 @@ func (b *Breaker) Success() {
 // half-open trial).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	opened := false
 	switch b.state {
 	case Closed:
 		b.failures++
 		if b.failures >= b.cfg.Threshold {
 			b.openLocked()
+			opened = true
 		}
 	case HalfOpen:
 		b.openLocked()
+		opened = true
 	case Open:
 		b.openedAt = b.cfg.Now()
+	}
+	b.mu.Unlock()
+	if opened {
+		b.notify(from, Open)
 	}
 }
 
@@ -157,6 +178,13 @@ func (b *Breaker) openLocked() {
 	b.probing = false
 	b.openedAt = b.cfg.Now()
 	b.opens++
+}
+
+// notify fires the transition hook, if any, outside the breaker's lock.
+func (b *Breaker) notify(from, to State) {
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
 }
 
 // State returns the current position. An elapsed cooldown only shows

@@ -12,26 +12,34 @@ package service
 //	POST  /v1/batch           plan many instances in one request
 //	PATCH /v1/instance/{hash} drift re-planning against a registered instance
 //	GET   /v1/subscribe/{hash} server-sent re-plan events for a registered instance
+//	GET   /v1/explain/{hash}  provenance of the last serve: source, solver counters, timings
+//	GET   /v1/healthz         liveness plus build identity
 //	GET   /v1/stats           cache/queue/solve/store/subscription counters (JSON)
 //	GET   /metrics            Prometheus text format (internal/metrics)
+//	GET   /debug/requests     recent request spans (internal/obs ring)
 //
 // Every handler runs under the request's context: a client that
 // disconnects or times out aborts its own solve (the search loops poll
 // the context), the aborted error is never cached, and the response
 // status is 499 (client closed request, the de-facto convention) — a dead
 // client stops burning the pool.
+//
+// Every response — success, shed, failure, stream — carries
+// X-Filterd-Request-Id (obs.Middleware echoes it before handlers run),
+// and JSON error bodies repeat the id for support correlation.
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cliopt"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/rat"
 	"repro/internal/workflow"
@@ -228,6 +236,114 @@ type statsJSON struct {
 	MemoMisses    int64 `json:"memo_misses"`
 	MemoLen       int   `json:"memo_len"`
 	MemoEvictions int64 `json:"memo_evictions"`
+	// Solver search-effort totals (branch-and-bound counters summed over
+	// every executed solve) and build identity.
+	SolverExpanded  int64  `json:"solver_nodes_expanded"`
+	SolverPruned    int64  `json:"solver_nodes_pruned"`
+	SolverEvaluated int64  `json:"solver_candidates_evaluated"`
+	Version         string `json:"version"`
+	Revision        string `json:"revision"`
+}
+
+// healthzJSON is the GET /v1/healthz liveness document.
+type healthzJSON struct {
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Revision string `json:"revision"`
+}
+
+// explainJSON renders one provenance record (GET /v1/explain/{hash}).
+type explainJSON struct {
+	Hash      string `json:"hash"`
+	Key       string `json:"key"`
+	RequestID string `json:"request_id,omitempty"`
+	Model     string `json:"model"`
+	Objective string `json:"objective"`
+	// Method and Family are the RESOLVED strategy when the effort record
+	// exists (what the solver actually searched), the requested one
+	// otherwise.
+	Method  string              `json:"method"`
+	Family  string              `json:"family"`
+	Source  string              `json:"source"`  // cache | store | solve | failover
+	Outcome string              `json:"outcome"` // miss | hit | coalesced
+	Value   rat.Rat             `json:"value"`
+	Exact   bool                `json:"exact"`
+	Served  time.Time           `json:"served"`
+	Solver  *explainSolverJSON  `json:"solver,omitempty"`
+	Orch    *explainOrchJSON    `json:"orchestration,omitempty"`
+	Timings *explainTimingsJSON `json:"timings,omitempty"`
+}
+
+type explainSolverJSON struct {
+	Expanded  int64 `json:"expanded"`
+	Pruned    int64 `json:"pruned"`
+	Evaluated int64 `json:"evaluated"`
+}
+
+type explainOrchJSON struct {
+	Orchestrations  int64 `json:"orchestrations"`
+	MemoHits        int64 `json:"memo_hits"`
+	Prefixes        int64 `json:"prefixes"`
+	Pruned          int64 `json:"pruned"`
+	Evaluated       int64 `json:"evaluated"`
+	BoundEdgesBuilt int64 `json:"bound_edges_built"`
+	BoundEdgesFlat  int64 `json:"bound_edges_flat"`
+	FilterCertified int64 `json:"filter_certified"`
+	FilterFallback  int64 `json:"filter_fallback"`
+}
+
+type explainTimingsJSON struct {
+	QueueSeconds float64 `json:"queue_seconds"`
+	SolveSeconds float64 `json:"solve_seconds"`
+	OrchSeconds  float64 `json:"orchestrate_seconds"`
+}
+
+// explainResponse renders a provenance record. The solver, orchestration
+// and timing blocks come from the effort record of the producing solve —
+// identical whether this serve solved, hit the cache, or warm-loaded the
+// plan (the /v1/explain determinism contract); they are absent only for
+// plans persisted before effort records existed.
+func explainResponse(e Explain) explainJSON {
+	out := explainJSON{
+		Hash:      e.Hash,
+		Key:       e.Key,
+		RequestID: e.RequestID,
+		Model:     strings.ToLower(e.Model.String()),
+		Objective: e.Objective.String(),
+		Method:    e.Method.String(),
+		Family:    e.Family.String(),
+		Source:    e.Source,
+		Outcome:   e.Outcome,
+		Value:     e.Value,
+		Exact:     e.Exact,
+		Served:    e.Served,
+	}
+	if ef := e.Effort; ef != nil {
+		out.Method = ef.Method.String()
+		out.Family = ef.Family.String()
+		out.Solver = &explainSolverJSON{
+			Expanded:  ef.Search.Expanded,
+			Pruned:    ef.Search.Pruned,
+			Evaluated: ef.Search.Evaluated,
+		}
+		out.Orch = &explainOrchJSON{
+			Orchestrations:  ef.Evals,
+			MemoHits:        ef.MemoHits,
+			Prefixes:        ef.Orch.Prefixes,
+			Pruned:          ef.Orch.Pruned,
+			Evaluated:       ef.Orch.Evaluated,
+			BoundEdgesBuilt: ef.Orch.BoundEdgesBuilt,
+			BoundEdgesFlat:  ef.Orch.BoundEdgesFlat,
+			FilterCertified: ef.Orch.FilterCertified,
+			FilterFallback:  ef.Orch.FilterFallback,
+		}
+		out.Timings = &explainTimingsJSON{
+			QueueSeconds: float64(ef.QueueNanos) / 1e9,
+			SolveSeconds: float64(ef.SolveNanos) / 1e9,
+			OrchSeconds:  float64(ef.OrchNanos) / 1e9,
+		}
+	}
+	return out
 }
 
 // eventJSON is the SSE payload of one re-plan notification.
@@ -449,7 +565,8 @@ func Handler(s *Server) http.Handler {
 					NewValue: ev.NewValue,
 				})
 				if err != nil {
-					log.Printf("service: encoding event: %v", err)
+					slog.Warn("service: encoding event failed",
+						"request_id", w.Header().Get(obs.HeaderRequestID), "err", err)
 					return
 				}
 				fmt.Fprintf(w, "event: replan\ndata: %s\n\n", data)
@@ -465,6 +582,24 @@ func Handler(s *Server) http.Handler {
 			}
 		}
 	}))
+
+	mux.HandleFunc("GET /v1/explain/{hash}", s.instrument("explain", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		e, ok := s.Explain(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("service: no explain record for hash %s", hash))
+			return
+		}
+		writeJSON(w, http.StatusOK, explainResponse(e))
+	}))
+
+	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthzJSON{Status: "ok", Version: s.version, Revision: s.revision})
+	}))
+
+	// The span ring: always mounted (it answers "enabled": false when
+	// tracing is off), so probing the endpoint needs no special-casing.
+	mux.Handle("GET /debug/requests", s.tracer.Handler())
 
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
@@ -498,10 +633,19 @@ func Handler(s *Server) http.Handler {
 			Pending:         st.Pending,
 			MaxPending:      st.MaxPending,
 			CacheSeeded:     st.Cache.Seeded,
+			SolverExpanded:  st.SolverExpanded,
+			SolverPruned:    st.SolverPruned,
+			SolverEvaluated: st.SolverEvaluated,
+			Version:         st.Version,
+			Revision:        st.Revision,
 		})
 	}))
 
-	return mux
+	// The middleware is the request-ID and span boundary: it echoes
+	// X-Filterd-Request-Id before any handler runs (so sheds, errors and
+	// SSE streams all carry it) and passes through untouched when an outer
+	// layer — the cluster router — already owns the request's span.
+	return obs.Middleware(s.tracer, mux)
 }
 
 // decodePlanRequest resolves one wire request into a service Request.
@@ -532,8 +676,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		// The status line is already out; log so truncated responses are
-		// diagnosable server-side.
-		log.Printf("service: encoding response: %v", err)
+		// diagnosable server-side. The id was echoed onto the response
+		// headers by obs.Middleware before any handler ran.
+		slog.Warn("service: encoding response failed",
+			"request_id", w.Header().Get(obs.HeaderRequestID), "err", err)
 	}
 }
 
@@ -546,5 +692,11 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	// The id repeats in the body for support correlation: error reports
+	// usually quote the body, not the headers. obs.Middleware set the
+	// header before any handler ran; "" only for un-middlewared embeds.
+	writeJSON(w, code, map[string]string{
+		"error":      err.Error(),
+		"request_id": w.Header().Get(obs.HeaderRequestID),
+	})
 }

@@ -23,6 +23,38 @@ func (s *Server) initMetrics() {
 	s.mSolveSeconds = m.Histogram("filterd_solve_seconds",
 		"Solver wall time in seconds per executed solve (cache hits excluded).", nil)
 
+	// Per-phase latency histograms of the request spine (obs.Phase). The
+	// children are resolved once: Vec.With builds a lookup key per call,
+	// and canon/cache observe on every request including cache hits, so
+	// the hot path must stay allocation-free.
+	phases := m.HistogramVec("filterd_phase_seconds",
+		"Request phase latency in seconds (canon, cache, queue, solve, orchestrate, store).",
+		nil, "phase")
+	s.mPhaseCanon = phases.With("canon")
+	s.mPhaseCache = phases.With("cache")
+	s.mPhaseQueue = phases.With("queue")
+	s.mPhaseSolve = phases.With("solve")
+	s.mPhaseOrch = phases.With("orchestrate")
+	s.mPhaseStore = phases.With("store")
+
+	// Solver search-effort totals: the branch-and-bound evidence counters,
+	// summed across every executed solve.
+	m.CounterFunc("filterd_solver_nodes_expanded_total",
+		"Branch-and-bound partial assignments whose bound was computed, summed over all solves.",
+		func() float64 { return float64(s.nodesExpanded.Load()) })
+	m.CounterFunc("filterd_solver_nodes_pruned_total",
+		"Branch-and-bound subtrees discarded by the incumbent bound, summed over all solves.",
+		func() float64 { return float64(s.nodesPruned.Load()) })
+	m.CounterFunc("filterd_solver_candidates_evaluated_total",
+		"Complete candidate graphs whose objective was computed, summed over all solves.",
+		func() float64 { return float64(s.candEvaluated.Load()) })
+
+	// Build identity as the Prometheus build-info convention: a constant-1
+	// gauge whose labels carry the version and VCS revision.
+	m.GaugeVec("filterd_build_info",
+		"Build identity: constant 1, labeled with the module version and VCS revision.",
+		"version", "revision").With(s.version, s.revision).Set(1)
+
 	m.GaugeFunc("filterd_queue_depth",
 		"Solves currently buffered in the intake queue.",
 		func() float64 { return float64(len(s.queue)) })

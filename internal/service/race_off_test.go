@@ -1,0 +1,5 @@
+//go:build !race
+
+package service
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled gates the allocation-budget guards: race instrumentation
+// adds its own allocations, so the budgets only hold in unraced builds.
+const raceEnabled = true

@@ -36,12 +36,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/canon"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/par"
 	"repro/internal/plan"
@@ -111,6 +113,18 @@ type Config struct {
 	// warm hits bit-identical to pre-restart. Persistence failures never
 	// fail a request — they only show in the store's counters.
 	Store *store.Store
+	// Tracer, when non-nil, records per-request spans into its ring
+	// (served at GET /debug/requests). nil or a zero-capacity tracer
+	// disables recording; request IDs and /v1/explain work regardless.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives the server's structured log events
+	// (sheds, store-write failures, encode errors), request_id-correlated.
+	// nil discards them — embedded test servers stay silent by default.
+	Logger *slog.Logger
+	// ExplainSize bounds the per-hash plan-provenance records served at
+	// GET /v1/explain/{hash} (default 1024, least-recently-served evicted
+	// first).
+	ExplainSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MemoSize <= 0 {
 		c.MemoSize = 4096
+	}
+	if c.ExplainSize <= 0 {
+		c.ExplainSize = 1024
 	}
 	return c
 }
@@ -246,12 +263,28 @@ type Stats struct {
 	MemoMisses    int64
 	MemoLen       int
 	MemoEvictions int64
+	// SolverExpanded/SolverPruned/SolverEvaluated total the branch-and-
+	// bound search counters across every solve executed on the pool — the
+	// running evidence for the paper's tractability claim, previously
+	// computed per solve and dropped.
+	SolverExpanded  int64
+	SolverPruned    int64
+	SolverEvaluated int64
+	// Version and Revision identify the running build (obs.BuildInfo).
+	Version  string
+	Revision string
 }
 
-// cacheEntry is the cached value of one key.
+// cacheEntry is the cached value of one key. src is what a later cache
+// hit of this entry reports as its plan source: "cache" for entries a
+// solve produced, "store" for entries warm-loaded from disk. effort is
+// the search-effort record of the producing solve (nil for entries
+// persisted before the field existed).
 type cacheEntry struct {
-	sol  solve.Solution
-	inst *canon.Instance
+	sol    solve.Solution
+	inst   *canon.Instance
+	src    string
+	effort *solve.Effort
 }
 
 type task struct {
@@ -298,11 +331,34 @@ type Server struct {
 
 	// metrics is the operational surface served at GET /metrics;
 	// mRequests/mLatency instrument the HTTP routes, mSolveSeconds the
-	// solver wall time of every executed solve.
+	// solver wall time of every executed solve. The per-phase histogram
+	// children are resolved once here: Vec.With builds a map key per call,
+	// so the hot path observes through these cached handles instead.
 	metrics       *metrics.Registry
 	mRequests     *metrics.CounterVec
 	mLatency      *metrics.HistogramVec
 	mSolveSeconds *metrics.Histogram
+	mPhaseCanon   *metrics.Histogram
+	mPhaseCache   *metrics.Histogram
+	mPhaseQueue   *metrics.Histogram
+	mPhaseSolve   *metrics.Histogram
+	mPhaseOrch    *metrics.Histogram
+	mPhaseStore   *metrics.Histogram
+
+	// Solver search-effort totals across every executed solve, mirrored
+	// onto /metrics and /v1/stats (satellite: B&B counters were dropped).
+	nodesExpanded atomic.Int64
+	nodesPruned   atomic.Int64
+	candEvaluated atomic.Int64
+
+	// Observability spine: the span tracer (may be nil — every use is
+	// nil-safe), the structured logger (never nil after New), the per-hash
+	// explain records, and the build identity.
+	tracer   *obs.Tracer
+	logger   *slog.Logger
+	explain  *explainCache
+	version  string
+	revision string
 }
 
 // orchWorkers is the worker budget one inner solve may hand down to the
@@ -332,6 +388,10 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    plancache.New[cacheEntry](cfg.CacheSize),
@@ -340,16 +400,21 @@ func New(cfg Config) *Server {
 		memo:     orchestrate.NewMemo(cfg.MemoSize),
 		closing:  make(chan struct{}),
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
+		logger:   logger,
+		explain:  newExplainCache(cfg.ExplainSize),
 	}
+	s.version, s.revision = obs.BuildInfo()
 	s.initMetrics()
 	// Warm load: replay the persisted plans into the LRU and the drift
 	// registry before the first request, so a restarted replica answers
 	// previously solved requests as warm hits bit-identical to
 	// pre-restart. Entries the store rejects (corrupt, stale format) are
-	// skipped and will simply re-solve on demand.
+	// skipped and will simply re-solve on demand. Warm entries report
+	// plan source "store" and carry the original solve's effort record.
 	if cfg.Store != nil {
 		_ = cfg.Store.Load(func(e store.Entry) {
-			s.cache.Seed(e.Key, cacheEntry{sol: e.Solution, inst: e.Instance})
+			s.cache.Seed(e.Key, cacheEntry{sol: e.Solution, inst: e.Instance, src: "store", effort: e.Effort})
 			s.register(e.Instance)
 		})
 	}
@@ -416,6 +481,8 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 		s.pending.Add(-1)
 		s.shed.Add(1)
 		s.mu.RUnlock()
+		s.logger.Warn("solve shed at the backpressure watermark",
+			"request_id", obs.From(ctx).ID(), "pending", p-1, "max_pending", s.cfg.MaxPending)
 		return fmt.Errorf("%w: %d solves already pending (limit %d)",
 			ErrOverloaded, p-1, s.cfg.MaxPending)
 	}
@@ -527,7 +594,11 @@ func (s *Server) PlanContext(ctx context.Context, req Request) (Response, error)
 		s.rejected.Add(1)
 		return Response{}, err
 	}
+	canonStart := time.Now()
 	inst, err := canon.Canonicalize(req.App)
+	canonDur := time.Since(canonStart)
+	obs.From(ctx).Observe(obs.PhaseCanon, canonDur)
+	s.mPhaseCanon.Observe(canonDur.Seconds())
 	if err != nil {
 		s.rejected.Add(1)
 		return Response{}, err
@@ -541,12 +612,18 @@ func (s *Server) PlanContext(ctx context.Context, req Request) (Response, error)
 // solution (solve.Options.Incumbent contract), so it is deliberately not
 // part of the cache key.
 func (s *Server) planCanonical(ctx context.Context, inst *canon.Instance, req Request, incumbent *rat.Rat) (Response, error) {
+	span := obs.From(ctx)
 	key := cacheKey(inst.Hash(), req)
+	span.SetHash(inst.Hash(), key)
 retry:
+	cacheStart := time.Now()
 	val, outcome, err := s.cache.Do(key, func() (cacheEntry, error) {
 		var sol solve.Solution
 		var solveErr error
+		var effort *solve.Effort
+		submitted := time.Now()
 		submitErr := s.submit(ctx, func() {
+			queued := time.Since(submitted)
 			s.solves.Add(1)
 			start := time.Now()
 			opts := req.solveOptions(ctx, s.orchWorkers())
@@ -555,12 +632,49 @@ retry:
 			// subgraphs reached by different requests cost one
 			// orchestration.
 			opts.Memo = s.memo
+			// Introspection: the branch-and-bound counters and the
+			// orchestration probe. Both are observational — the service
+			// pins Workers: 1, so the counts are deterministic per request
+			// (the /v1/explain contract).
+			var stats solve.Stats
+			probe := &solve.EvalProbe{}
+			opts.Stats = &stats
+			opts.Probe = probe
 			if req.Objective == solve.PeriodObjective {
 				sol, solveErr = solve.MinPeriod(inst.App(), req.Model, opts)
 			} else {
 				sol, solveErr = solve.MinLatency(inst.App(), req.Model, opts)
 			}
-			s.mSolveSeconds.Observe(time.Since(start).Seconds())
+			solveDur := time.Since(start)
+			s.mSolveSeconds.Observe(solveDur.Seconds())
+			s.mPhaseQueue.Observe(queued.Seconds())
+			s.mPhaseSolve.Observe(solveDur.Seconds())
+			orchDur := time.Duration(probe.OrchNanos())
+			s.mPhaseOrch.Observe(orchDur.Seconds())
+			span.Observe(obs.PhaseQueue, queued)
+			span.Observe(obs.PhaseSolve, solveDur)
+			span.Observe(obs.PhaseOrchestrate, orchDur)
+			if solveErr == nil {
+				method := solve.ResolveMethod(inst.App(), req.Objective, opts)
+				family := req.Family
+				if method == solve.BranchBound {
+					family = solve.ResolveFamily(inst.App(), req.Objective, req.Family)
+				}
+				effort = &solve.Effort{
+					Method:     method,
+					Family:     family,
+					Search:     stats,
+					Orch:       probe.Orch(),
+					Evals:      probe.Evals(),
+					MemoHits:   probe.MemoHits(),
+					QueueNanos: int64(queued),
+					SolveNanos: int64(solveDur),
+					OrchNanos:  probe.OrchNanos(),
+				}
+				s.nodesExpanded.Add(stats.Expanded)
+				s.nodesPruned.Add(stats.Pruned)
+				s.candEvaluated.Add(stats.Evaluated)
+			}
 		})
 		if submitErr != nil {
 			return cacheEntry{}, submitErr
@@ -570,12 +684,23 @@ retry:
 		}
 		// Write-through persistence: the entry is on disk before the
 		// response leaves, so a restart after this point answers the key
-		// warm. A failed persist only shows in the store counters.
+		// warm. A failed persist only shows in the store counters (and
+		// the log).
 		if s.cfg.Store != nil {
-			_ = s.cfg.Store.Put(store.Entry{Key: key, Instance: inst, Solution: sol})
+			storeStart := time.Now()
+			if err := s.cfg.Store.Put(store.Entry{Key: key, Instance: inst, Solution: sol, Effort: effort}); err != nil {
+				s.logger.Warn("store write failed",
+					"request_id", span.ID(), "key", key, "err", err)
+			}
+			storeDur := time.Since(storeStart)
+			s.mPhaseStore.Observe(storeDur.Seconds())
+			span.Observe(obs.PhaseStore, storeDur)
 		}
-		return cacheEntry{sol: sol, inst: inst}, nil
+		return cacheEntry{sol: sol, inst: inst, src: "cache", effort: effort}, nil
 	})
+	cacheDur := time.Since(cacheStart)
+	s.mPhaseCache.Observe(cacheDur.Seconds())
+	span.Observe(obs.PhaseCache, cacheDur)
 	if err != nil {
 		// A coalesced waiter inherits the LEADING request's error — and a
 		// context error there says the leader's client died, not ours.
@@ -588,6 +713,23 @@ retry:
 		}
 		return Response{}, err
 	}
+	// Provenance: where this answer came from. A fresh or coalesced solve
+	// is "solve"; a hit reports what produced the entry ("cache" for a
+	// prior solve this process, "store" for a warm-loaded plan); a router
+	// local-failover overrides either — the answer is identical, the
+	// serving layer is the story.
+	source := "solve"
+	if outcome == plancache.Hit {
+		source = val.src
+	}
+	if obs.IsFailover(ctx) {
+		source = "failover"
+	}
+	span.SetOutcome(outcome.String(), source)
+	if e := val.effort; e != nil {
+		span.SetSolver(e.Search.Expanded, e.Search.Pruned, e.Evals, e.MemoHits)
+	}
+	s.explain.record(inst.Hash(), key, span.ID(), req, outcome.String(), source, val)
 	return Response{
 		Hash:     inst.Hash(),
 		Key:      key,
@@ -802,6 +944,11 @@ func (s *Server) Stats() Stats {
 		MemoMisses:      s.memo.Misses(),
 		MemoLen:         s.memo.Len(),
 		MemoEvictions:   s.memo.Evictions(),
+		SolverExpanded:  s.nodesExpanded.Load(),
+		SolverPruned:    s.nodesPruned.Load(),
+		SolverEvaluated: s.candEvaluated.Load(),
+		Version:         s.version,
+		Revision:        s.revision,
 	}
 	if s.cfg.Store != nil {
 		st.Persistent = true

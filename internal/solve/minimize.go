@@ -18,6 +18,9 @@ import (
 // weighted graphs reached anywhere in the search orchestrate once.
 func evaluate(eg *plan.ExecGraph, m plan.Model, obj Objective, opts Options) (orchestrate.Result, error) {
 	w := eg.Weighted()
+	if p := opts.Probe; p != nil {
+		return p.evaluate(w, m, obj, opts)
+	}
 	if obj == PeriodObjective {
 		return orchestrate.PeriodMemo(opts.Memo, w, m, opts.Orch)
 	}

@@ -165,6 +165,13 @@ type Options struct {
 	// returns a partial Solution, only the error, so cancellation cannot
 	// weaken the determinism invariant.
 	Ctx context.Context
+	// Probe, when non-nil, observes every candidate orchestration of the
+	// solve (evaluation counts, memo hits, orchestration-search counters,
+	// orchestration wall time) — the introspection hook of the planning
+	// service's /v1/explain. Purely observational: it never changes which
+	// graphs are searched or what Solution is returned, and it is excluded
+	// from every cache and memo key.
+	Probe *EvalProbe
 }
 
 // ctxErr converts a done context into the search abort error (nil context

@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"repro/internal/canon"
+	"repro/internal/cliopt"
 	"repro/internal/oplist"
 	"repro/internal/orchestrate"
 	"repro/internal/plan"
@@ -65,6 +66,13 @@ type Entry struct {
 	Instance *canon.Instance
 	// Solution is the solved plan, reconstructed bit-identical on load.
 	Solution solve.Solution
+	// Effort, when non-nil, is the search-effort record of the solve that
+	// produced the Solution (solver counters, memo hits, timings) — kept
+	// so a warm-restarted service explains a stored plan with the original
+	// solve's evidence. Optional: entries written before the field existed
+	// load with a nil Effort, and a malformed effort block drops only the
+	// effort, never the plan.
+	Effort *solve.Effort
 }
 
 // Stats are the running counters of a store.
@@ -124,6 +132,97 @@ type entryJSON struct {
 	SchedExact      bool            `json:"sched_exact"`
 	SchedBottleneck []string        `json:"sched_bottleneck,omitempty"`
 	Schedule        json.RawMessage `json:"schedule"`
+	// Effort is the optional search-effort record (absent in entries
+	// written before it existed — the version tag is unchanged because old
+	// entries remain fully servable).
+	Effort *effortJSON `json:"effort,omitempty"`
+}
+
+// effortJSON serializes solve.Effort with the method and family as their
+// canonical names, so entry files stay greppable and enum renumbering
+// cannot corrupt stored records.
+type effortJSON struct {
+	Method   string `json:"method"`
+	Family   string `json:"family"`
+	Expanded int64  `json:"expanded"`
+	Pruned   int64  `json:"pruned"`
+	// Evaluated counts complete graphs scored by the branch-and-bound
+	// search; Evals every candidate orchestration of the solve.
+	Evaluated       int64 `json:"evaluated"`
+	Evals           int64 `json:"orchestrations"`
+	MemoHits        int64 `json:"memo_hits"`
+	OrchPrefixes    int64 `json:"orch_prefixes"`
+	OrchPruned      int64 `json:"orch_pruned"`
+	OrchEvaluated   int64 `json:"orch_evaluated"`
+	BoundEdgesBuilt int64 `json:"bound_edges_built"`
+	BoundEdgesFlat  int64 `json:"bound_edges_flat"`
+	FilterCertified int64 `json:"filter_certified"`
+	FilterFallback  int64 `json:"filter_fallback"`
+	QueueNanos      int64 `json:"queue_nanos"`
+	SolveNanos      int64 `json:"solve_nanos"`
+	OrchNanos       int64 `json:"orch_nanos"`
+}
+
+// encodeEffort maps solve.Effort to its JSON form (nil passes through).
+func encodeEffort(e *solve.Effort) *effortJSON {
+	if e == nil {
+		return nil
+	}
+	return &effortJSON{
+		Method:          e.Method.String(),
+		Family:          e.Family.String(),
+		Expanded:        e.Search.Expanded,
+		Pruned:          e.Search.Pruned,
+		Evaluated:       e.Search.Evaluated,
+		Evals:           e.Evals,
+		MemoHits:        e.MemoHits,
+		OrchPrefixes:    e.Orch.Prefixes,
+		OrchPruned:      e.Orch.Pruned,
+		OrchEvaluated:   e.Orch.Evaluated,
+		BoundEdgesBuilt: e.Orch.BoundEdgesBuilt,
+		BoundEdgesFlat:  e.Orch.BoundEdgesFlat,
+		FilterCertified: e.Orch.FilterCertified,
+		FilterFallback:  e.Orch.FilterFallback,
+		QueueNanos:      e.QueueNanos,
+		SolveNanos:      e.SolveNanos,
+		OrchNanos:       e.OrchNanos,
+	}
+}
+
+// decodeEffort maps the JSON form back; an unparseable method or family
+// name (a future format) yields nil — the effort degrades, the plan
+// stays servable.
+func decodeEffort(d *effortJSON) *solve.Effort {
+	if d == nil {
+		return nil
+	}
+	method, err := cliopt.Method(d.Method)
+	if err != nil {
+		return nil
+	}
+	family, err := cliopt.Family(d.Family)
+	if err != nil {
+		return nil
+	}
+	return &solve.Effort{
+		Method: method,
+		Family: family,
+		Search: solve.Stats{Expanded: d.Expanded, Pruned: d.Pruned, Evaluated: d.Evaluated},
+		Orch: orchestrate.Stats{
+			Prefixes:        d.OrchPrefixes,
+			Pruned:          d.OrchPruned,
+			Evaluated:       d.OrchEvaluated,
+			BoundEdgesBuilt: d.BoundEdgesBuilt,
+			BoundEdgesFlat:  d.BoundEdgesFlat,
+			FilterCertified: d.FilterCertified,
+			FilterFallback:  d.FilterFallback,
+		},
+		Evals:      d.Evals,
+		MemoHits:   d.MemoHits,
+		QueueNanos: d.QueueNanos,
+		SolveNanos: d.SolveNanos,
+		OrchNanos:  d.OrchNanos,
+	}
 }
 
 // fileName maps a cache key to its entry file: the hex SHA-256 of the key,
@@ -172,6 +271,7 @@ func (s *Store) put(e Entry) error {
 		SchedExact:      e.Solution.Sched.Exact,
 		SchedBottleneck: e.Solution.Sched.Bottleneck,
 		Schedule:        schedData,
+		Effort:          encodeEffort(e.Effort),
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -297,6 +397,7 @@ func (s *Store) loadFile(path string) (Entry, error) {
 			Value: doc.Value,
 			Exact: doc.Exact,
 		},
+		Effort: decodeEffort(doc.Effort),
 	}, nil
 }
 

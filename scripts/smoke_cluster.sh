@@ -6,6 +6,9 @@
 # its local solve with the identical value — and require the dead peer's
 # circuit breaker to open on the router's /metrics page, with the per-peer
 # failover counter moving and the replicas' own /metrics alive.
+# Observability: a client-chosen X-Filterd-Request-Id must round-trip on
+# the routed AND the failover response, and /v1/explain's nodes-expanded
+# counter must agree with the filterplan CLI's own bnb search report.
 # No dependencies beyond a POSIX shell and curl (JSON and headers are
 # picked apart with sed so CI images without jq work too).
 set -eu
@@ -53,11 +56,16 @@ wait_up "$ROUTER_PORT"
 REQUEST="{\"instance\": $(cat testdata/webquery8.json), \"model\": \"$MODEL\", \"objective\": \"period\"}"
 HDRS="$BIN/headers.txt"
 
-# Routed request: capture the value plus the routing headers.
-ROUTED_VALUE=$(curl -sf -D "$HDRS" -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
+# Routed request: capture the value plus the routing headers, sending a
+# client-chosen request ID that must echo back.
+RID="smoke-cluster-rid-1"
+ROUTED_VALUE=$(curl -sf -D "$HDRS" -H "X-Filterd-Request-Id: $RID" \
+    -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
     | sed -n 's/.*"value": "\([^"]*\)".*/\1/p' | head -1)
 OWNER=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Shard-Owner: //p' | head -1)
 SERVED_BY=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Served-By: //p' | head -1)
+ECHOED_RID=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Request-Id: //p' | head -1)
+[ "$ECHOED_RID" = "$RID" ] || { echo "smoke-cluster: request id not echoed on routed response (got '$ECHOED_RID')" >&2; exit 1; }
 
 # -canon makes the CLI solve the same canonical instance the service does.
 CLI_VALUE=$("$BIN/filterplan" -canon -in testdata/webquery8.json -model "$MODEL" -objective period \
@@ -76,9 +84,13 @@ case "$OWNER" in
     *) echo "smoke-cluster: unexpected owner $OWNER" >&2; exit 1 ;;
 esac
 
-FAILOVER_VALUE=$(curl -sf -D "$HDRS" -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
+RID2="smoke-cluster-rid-2"
+FAILOVER_VALUE=$(curl -sf -D "$HDRS" -H "X-Filterd-Request-Id: $RID2" \
+    -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$REQUEST" \
     | sed -n 's/.*"value": "\([^"]*\)".*/\1/p' | head -1)
 SERVED_BY2=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Served-By: //p' | head -1)
+ECHOED_RID2=$(tr -d '\r' <"$HDRS" | sed -n 's/^X-Filterd-Request-Id: //p' | head -1)
+[ "$ECHOED_RID2" = "$RID2" ] || { echo "smoke-cluster: request id not echoed on failover response (got '$ECHOED_RID2')" >&2; exit 1; }
 FAILOVERS=$(curl -sf "http://127.0.0.1:$ROUTER_PORT/v1/stats" \
     | sed -n 's/.*"failovers": \([0-9]*\).*/\1/p' | head -1)
 
@@ -124,4 +136,27 @@ case "$OWNER" in
 esac
 curl -sf "http://127.0.0.1:$ALIVE_PORT/metrics" | grep -q '^filterd_queue_depth' \
     || { echo "smoke-cluster: replica /metrics missing filterd_queue_depth" >&2; exit 1; }
+
+# /v1/explain must agree with the CLI's own branch-and-bound search
+# report: plan mixed6 (no precedence, so the chain family applies) with
+# -method bnb through the router, then compare the explain endpoint's
+# nodes-expanded counter against filterplan's "search:" line. Workers 1
+# on both sides — the service pins inner solves serial, which is what
+# makes the counters a deterministic contract.
+BNB_REQUEST="{\"instance\": $(cat testdata/mixed6.json), \"model\": \"$MODEL\", \"objective\": \"period\", \"method\": \"bnb\", \"family\": \"chain\"}"
+BNB_HASH=$(curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/plan" -d "$BNB_REQUEST" \
+    | sed -n 's/.*"hash": "\([0-9a-f]*\)".*/\1/p' | head -1)
+[ -n "$BNB_HASH" ] || { echo "smoke-cluster: bnb plan returned no hash" >&2; exit 1; }
+EXPLAIN="$BIN/explain.json"
+curl -sf "http://127.0.0.1:$ROUTER_PORT/v1/explain/$BNB_HASH" >"$EXPLAIN"
+GOT_EXPANDED=$(sed -n 's/.*"expanded": \([0-9]*\).*/\1/p' "$EXPLAIN" | head -1)
+WANT_EXPANDED=$("$BIN/filterplan" -canon -in testdata/mixed6.json -model "$MODEL" -objective period \
+    -method bnb -family chain -workers 1 \
+    | sed -n 's/^search: \([0-9]*\) nodes expanded.*/\1/p' | head -1)
+echo "smoke-cluster: explain nodes-expanded=$GOT_EXPANDED CLI nodes-expanded=$WANT_EXPANDED"
+[ -n "$GOT_EXPANDED" ] && [ -n "$WANT_EXPANDED" ] \
+    || { echo "smoke-cluster: missing nodes-expanded counter" >&2; cat "$EXPLAIN" >&2; exit 1; }
+[ "$GOT_EXPANDED" = "$WANT_EXPANDED" ] \
+    || { echo "smoke-cluster: explain and CLI disagree on nodes expanded" >&2; cat "$EXPLAIN" >&2; exit 1; }
+grep -q '"source": "' "$EXPLAIN" || { echo "smoke-cluster: explain has no source" >&2; exit 1; }
 echo "smoke-cluster: OK"
