@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: build bins test test-short test-race test-alloc bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster
+.PHONY: build bins test test-short test-race test-alloc bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster smoke-exec
 
 build:
 	$(GO) build ./...
 
-# Explicit binaries, filterd (the planning daemon) included.
+# Explicit binaries, filterd (the planning daemon) and filterexec (the
+# data-plane executor) included.
 bins:
 	mkdir -p bin
-	$(GO) build -o bin/ ./cmd/filterplan ./cmd/filterexp ./cmd/filtergen ./cmd/filterd ./cmd/benchjson
+	$(GO) build -o bin/ ./cmd/filterplan ./cmd/filterexp ./cmd/filtergen ./cmd/filterd ./cmd/filterexec ./cmd/benchjson
 
 vet:
 	$(GO) vet ./...
@@ -30,12 +31,14 @@ test-short:
 # its event-graph engine, the plan cache's singleflight, the service's
 # exactly-one-solve / restart / subscription / backpressure suites, the
 # persistent store, the cluster router with its circuit breakers, the
-# metrics registry, plus one race pass of the concurrent experiment
-# harness (the rest of internal/experiments runs race+short — its full
-# sweep is covered unraced by `test`).
+# metrics registry, the data-plane executor (pipelined stage network +
+# closed re-plan loop against an in-process filterd) and its stream
+# substrate, plus one race pass of the concurrent experiment harness
+# (the rest of internal/experiments runs race+short — its full sweep is
+# covered unraced by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/ ./internal/exec/ ./internal/sim/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # Allocation-regression guards: the orchestration inner loop
@@ -71,6 +74,13 @@ smoke-filterd:
 # value (CI runs the same check).
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# End-to-end data-plane smoke: boot filterd, run filterexec with an
+# injected cost drift, and require a re-plan PATCH plus a hot-swapped
+# schedule bit-identical to the filterplan CLI on the drifted instance
+# (CI runs the same check).
+smoke-exec:
+	./scripts/smoke_exec.sh
 
 # Orchestration fast-path smoke: one iteration of each order-search
 # benchmark pair (pruned + sharded exhaustive search, serial and parallel),

@@ -61,6 +61,7 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		timeline  = flag.Bool("timeline", false, "print the operation list event by event")
 		replay    = flag.Int("replay", 0, "replay the schedule for N data sets and report throughput")
+		schedOut  = flag.String("schedule-out", "", "write the schedule (oplist JSON) to this file — comparable bit for bit with filterexec -dump-schedule")
 	)
 	flag.Parse()
 
@@ -133,6 +134,15 @@ func main() {
 	}
 	if *gantt {
 		fmt.Println(sol.Sched.List.Gantt(rat.Zero, 72))
+	}
+	if *schedOut != "" {
+		doc, err := json.Marshal(sol.Sched.List)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*schedOut, append(doc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if *replay > 0 {
 		tr, err := sim.Replay(sol.Sched.List, *replay)

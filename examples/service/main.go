@@ -6,7 +6,11 @@
 // follow one request ID from the response header through the span ring
 // (/debug/requests) to the plan's provenance record (/v1/explain), and
 // read the counters — JSON via /v1/stats and Prometheus text via
-// /metrics (what a collector scrapes).
+// /metrics (what a collector scrapes). The finale closes the loop with
+// the data plane (internal/exec): execute the planned schedule on a
+// synthetic tuple stream whose real cost differs from the declared one,
+// watch the executor measure the drift, PATCH the instance, and hot-swap
+// to the re-planned schedule — plan → execute → observe → re-plan.
 //
 // The same API is served standalone by `go run ./cmd/filterd` (add
 // -data-dir for persistence, -peers for the cluster router, -log-format
@@ -17,6 +21,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -26,9 +31,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/rat"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/workflow"
 )
 
 func main() {
@@ -205,6 +213,49 @@ func main() {
 			}
 		}
 	}
+
+	fmt.Println("== the data plane: plan → execute → observe → re-plan (internal/exec) ==")
+	// The stream executor speaks the same HTTP API the sections above
+	// used by hand. The instance DECLARES cost 4 for C3, but the stream
+	// it runs actually charges 9 per tuple — after enough samples the
+	// executor's estimate is confidently off-declaration, so it PATCHes
+	// /v1/instance/{hash} with the measured value and hot-swaps to the
+	// re-planned schedule at a round boundary (`go run ./cmd/filterexec`
+	// is this loop as a command).
+	var app workflow.App
+	if err := json.Unmarshal([]byte(instance), &app); err != nil {
+		log.Fatal(err)
+	}
+	trueCost := rat.I(9)
+	ex, err := exec.New(exec.Config{
+		App: &app,
+		Planner: &exec.Client{BaseURL: ts.URL,
+			Params: exec.ClientParams{Model: "inorder", Objective: "period"}},
+		Seed:    1,
+		Workers: 4,
+		Truth:   map[string]exec.Truth{"C3": {Cost: &trueCost}},
+		Window:  512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := ex.Run(context.Background(), 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  streamed %d tuples in %d rounds (%d emitted)\n",
+		report.Tuples, report.Rounds, report.Emitted)
+	for _, ep := range report.Episodes {
+		fmt.Printf("  round %d: measured drift -> PATCH -> hot swap, value %s -> %s\n",
+			ep.Round, ep.OldValue, ep.NewValue)
+		for _, u := range ep.Updates {
+			if u.Cost != nil {
+				fmt.Printf("    %s: declared cost drifted to measured %s\n", u.Service, *u.Cost)
+			}
+		}
+	}
+	fmt.Printf("  %d controller patch(es); final plan %.12s... period %s\n",
+		report.Patches, report.Hash, report.Period)
 }
 
 func post(url, body string) map[string]any {

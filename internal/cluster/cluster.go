@@ -683,6 +683,15 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 		if id := r.Header.Get(obs.HeaderRequestID); id != "" {
 			req.Header.Set(obs.HeaderRequestID, id)
 		}
+		// Propagate the SSE resume cursor: a subscriber reconnecting
+		// through the router must land on the owning replica with its
+		// Last-Event-ID intact, or the replica cannot replay the replan
+		// events fired during the gap.
+		if sse {
+			if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+				req.Header.Set("Last-Event-ID", lastID)
+			}
+		}
 		start := time.Now()
 		resp, err := rt.client.Do(req)
 		if err != nil {

@@ -346,12 +346,41 @@ func explainResponse(e Explain) explainJSON {
 	return out
 }
 
-// eventJSON is the SSE payload of one re-plan notification.
+// eventJSON is the SSE payload of one re-plan notification. Instance is
+// the drifted application document (the filterplan -in format), so a
+// subscriber — e.g. the stream executor reacting to a PATCH it did not
+// issue itself — can POST it to /v1/plan (a cache hit) and obtain the
+// re-planned schedule without knowing the updates.
 type eventJSON struct {
-	Hash     string  `json:"hash"`
-	NewHash  string  `json:"new_hash"`
-	OldValue rat.Rat `json:"old_value"`
-	NewValue rat.Rat `json:"new_value"`
+	Hash     string          `json:"hash"`
+	NewHash  string          `json:"new_hash"`
+	OldValue rat.Rat         `json:"old_value"`
+	NewValue rat.Rat         `json:"new_value"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+}
+
+// encodeEvent renders one hub event as an SSE frame: the per-hash event ID
+// (the client echoes it as Last-Event-ID on reconnect) plus the replan
+// payload.
+func encodeEvent(ev Event) ([]byte, error) {
+	doc := eventJSON{
+		Hash:     ev.Hash,
+		NewHash:  ev.NewHash,
+		OldValue: ev.OldValue,
+		NewValue: ev.NewValue,
+	}
+	if ev.NewApp != nil {
+		inst, err := json.Marshal(ev.NewApp)
+		if err != nil {
+			return nil, err
+		}
+		doc.Instance = inst
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("id: %d\nevent: replan\ndata: %s\n\n", ev.ID, data)), nil
 }
 
 // statusWriter records the committed status code for the request
@@ -538,7 +567,21 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported by this server"))
 			return
 		}
-		sub, cancel := s.Subscribe(hash)
+		// Last-Event-ID (the SSE resume convention) replays the retained
+		// events fired between a disconnect and this reconnect; a gap
+		// beyond the retained history is reported as a lagged event, the
+		// same "re-fetch the plan" signal as an in-connection overflow.
+		// Without the header the stream is live-only, per the SSE spec.
+		sinceID := liveOnly
+		if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+			id, err := strconv.ParseUint(lastID, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("service: parsing Last-Event-ID: %w", err))
+				return
+			}
+			sinceID = id
+		}
+		sub, replay, missed, cancel := s.SubscribeSince(hash, sinceID)
 		events := sub.Events()
 		defer cancel()
 		w.Header().Set("Content-Type", "text/event-stream")
@@ -547,6 +590,18 @@ func Handler(s *Server) http.Handler {
 		// An immediate comment line tells the client the stream is live
 		// before the first (possibly much later) re-plan event.
 		fmt.Fprintf(w, ": subscribed %s\n\n", hash)
+		if missed > 0 {
+			fmt.Fprintf(w, "event: lagged\ndata: {\"dropped\": %d}\n\n", missed)
+		}
+		for _, ev := range replay {
+			frame, err := encodeEvent(ev)
+			if err != nil {
+				slog.Warn("service: encoding event failed",
+					"request_id", w.Header().Get(obs.HeaderRequestID), "err", err)
+				return
+			}
+			w.Write(frame)
+		}
 		fl.Flush()
 		for {
 			select {
@@ -558,18 +613,13 @@ func Handler(s *Server) http.Handler {
 				// deadline.
 				return
 			case ev := <-events:
-				data, err := json.Marshal(eventJSON{
-					Hash:     ev.Hash,
-					NewHash:  ev.NewHash,
-					OldValue: ev.OldValue,
-					NewValue: ev.NewValue,
-				})
+				frame, err := encodeEvent(ev)
 				if err != nil {
 					slog.Warn("service: encoding event failed",
 						"request_id", w.Header().Get(obs.HeaderRequestID), "err", err)
 					return
 				}
-				fmt.Fprintf(w, "event: replan\ndata: %s\n\n", data)
+				w.Write(frame)
 				// A full buffer dropped events against this subscriber
 				// while it stalled: tell it, so it re-fetches the plan
 				// instead of trusting the stream to be complete. Drops can

@@ -917,6 +917,7 @@ func (s *Server) DriftContext(ctx context.Context, hash string, updates []Update
 			NewHash:  report.NewHash,
 			OldValue: report.OldValue,
 			NewValue: report.NewValue,
+			NewApp:   newInst.App(),
 		})
 	}
 	return report, nil

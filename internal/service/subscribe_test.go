@@ -213,11 +213,12 @@ func TestHTTPSubscribeEmitsLaggedEvent(t *testing.T) {
 	// deterministic stand-in for a real stall, which would need the TCP
 	// window to fill while drift re-plans overflow the hub buffer.
 	s.hub.mu.Lock()
-	if n := len(s.hub.subs[hash]); n != 1 {
+	tp := s.hub.topics[hash]
+	if tp == nil || len(tp.subs) != 1 {
 		s.hub.mu.Unlock()
-		t.Fatalf("%d subscriptions for %s, want 1", n, hash)
+		t.Fatalf("no single subscription for %s", hash)
 	}
-	for sub := range s.hub.subs[hash] {
+	for sub := range tp.subs {
 		sub.lagged.Add(3)
 	}
 	s.hub.mu.Unlock()
@@ -242,6 +243,177 @@ func TestHTTPSubscribeEmitsLaggedEvent(t *testing.T) {
 			}
 			return
 		}
+	}
+}
+
+// TestSubscribeSinceReplaysRetainedEvents pins the hub-level resume
+// contract: a subscriber resuming from a cursor replays exactly the
+// retained events after it (in order), a cursor beyond the retained ring
+// reports the gap, and the replay slice is atomically consistent with the
+// live channel — no event is both replayed and delivered, none falls
+// between.
+func TestSubscribeSinceReplaysRetainedEvents(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	const extra = 5
+	total := uint64(replayRing + extra)
+	for i := uint64(0); i < total; i++ {
+		s.hub.publish("h", Event{Hash: "h", NewHash: "next"})
+	}
+
+	// Resume from the second-to-last seen event: two replays, no gap.
+	sub, replay, missed, cancel := s.SubscribeSince("h", total-2)
+	if missed != 0 || len(replay) != 2 ||
+		replay[0].ID != total-1 || replay[1].ID != total {
+		t.Fatalf("resume at %d: replay %v missed %d, want IDs [%d %d] and 0",
+			total-2, replay, missed, total-1, total)
+	}
+	// The live channel carries only what publishes AFTER the resume.
+	if got := len(sub.Events()); got != 0 {
+		t.Fatalf("live channel pre-seeded with %d events", got)
+	}
+	s.hub.publish("h", Event{Hash: "h"})
+	ev := <-sub.Events()
+	if ev.ID != total+1 {
+		t.Fatalf("live event ID %d, want %d", ev.ID, total+1)
+	}
+	cancel()
+
+	// Cursor 0 ("subscribed before, saw nothing") is beyond the ring by
+	// exactly the evicted prefix; the whole ring replays.
+	_, replay, missed, cancel2 := s.SubscribeSince("h", 0)
+	defer cancel2()
+	if missed != extra+1 { // events 1..extra evicted, plus the post-resume publish shifted one more out
+		t.Fatalf("gap from cursor 0 = %d, want %d", missed, extra+1)
+	}
+	if len(replay) != replayRing || replay[0].ID != uint64(extra)+2 {
+		t.Fatalf("replay len %d first ID %d, want %d starting at %d",
+			len(replay), replay[0].ID, replayRing, extra+2)
+	}
+
+	// A cursor at or past the sequence head replays nothing.
+	_, replay, missed, cancel3 := s.SubscribeSince("h", total+1)
+	defer cancel3()
+	if len(replay) != 0 || missed != 0 {
+		t.Fatalf("up-to-date resume: replay %v missed %d", replay, missed)
+	}
+}
+
+// TestHTTPSubscribeResumesFromLastEventID drives the SSE resume end to
+// end: a subscriber reads event 1 with its id: line, disconnects, misses a
+// re-plan, reconnects with Last-Event-ID: 1, and receives the missed event
+// as a replay frame before anything live.
+func TestHTTPSubscribeResumesFromLastEventID(t *testing.T) {
+	s, ts := newTestAPI(t)
+	hash, target, _ := planAndTarget(t, s)
+
+	readFrame := func(r *bufio.Reader) (id, data string) {
+		t.Helper()
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading stream: %v", err)
+			}
+			if strings.HasPrefix(line, "id: ") {
+				id = strings.TrimSpace(strings.TrimPrefix(line, "id: "))
+			}
+			if strings.HasPrefix(line, "data: ") {
+				return id, strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+			}
+		}
+	}
+
+	// First connection sees the first drift as live event 1.
+	resp, err := http.Get(ts.URL + "/v1/subscribe/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(resp.Body)
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, ": subscribed") {
+		t.Fatalf("stream preamble %q", line)
+	}
+	var first driftResponseJSON
+	doJSON(t, "PATCH", ts.URL+"/v1/instance/"+hash,
+		fmt.Sprintf(`{"model": "overlap", "objective": "period", "updates": [{"service": %q, "cost": "99"}]}`, target), &first)
+	id, _ := readFrame(r)
+	if id != "1" {
+		t.Fatalf("first event id %q, want 1", id)
+	}
+	resp.Body.Close() // disconnect; the next drift is missed
+
+	var second driftResponseJSON
+	doJSON(t, "PATCH", ts.URL+"/v1/instance/"+hash,
+		fmt.Sprintf(`{"model": "overlap", "objective": "period", "updates": [{"service": %q, "cost": "999"}]}`, target), &second)
+	if second.NewValue.Equal(first.NewValue) {
+		t.Fatal("second drift must change the objective again")
+	}
+
+	// Reconnect with the resume cursor: event 2 replays immediately, with
+	// its instance payload intact.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/subscribe/"+hash, nil)
+	req.Header.Set("Last-Event-ID", "1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	r2 := bufio.NewReader(resp2.Body)
+	if line, _ := r2.ReadString('\n'); !strings.HasPrefix(line, ": subscribed") {
+		t.Fatalf("resume preamble %q", line)
+	}
+	id, data := readFrame(r2)
+	var ev eventJSON
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("replayed payload %q: %v", data, err)
+	}
+	if id != "2" || ev.NewHash != second.NewHash || !ev.NewValue.Equal(second.NewValue) {
+		t.Fatalf("replayed frame id %q event %+v, want id 2 matching %+v", id, ev, second)
+	}
+	if len(ev.Instance) == 0 {
+		t.Fatal("replayed event lost its instance document")
+	}
+
+	// A resume gap beyond the retained ring announces itself as lagged.
+	s.hub.mu.Lock()
+	tp := s.hub.topics[hash]
+	s.hub.mu.Unlock()
+	for tp.seq < replayRing+2 {
+		s.hub.publish(hash, Event{Hash: hash, NewHash: "x"})
+	}
+	req3, _ := http.NewRequest("GET", ts.URL+"/v1/subscribe/"+hash, nil)
+	req3.Header.Set("Last-Event-ID", "0")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	r3 := bufio.NewReader(resp3.Body)
+	for {
+		line, err := r3.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading gapped stream: %v", err)
+		}
+		if strings.HasPrefix(line, "event: lagged") {
+			data, _ := r3.ReadString('\n')
+			if strings.TrimSpace(data) != `data: {"dropped": 2}` {
+				t.Fatalf("gap payload %q, want dropped: 2", data)
+			}
+			break
+		}
+		if strings.HasPrefix(line, "event: replan") {
+			t.Fatal("replay started before the lagged notice")
+		}
+	}
+
+	// Malformed cursors are rejected outright.
+	req4, _ := http.NewRequest("GET", ts.URL+"/v1/subscribe/"+hash, nil)
+	req4.Header.Set("Last-Event-ID", "not-a-number")
+	resp4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID status %d, want 400", resp4.StatusCode)
 	}
 }
 

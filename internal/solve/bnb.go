@@ -523,7 +523,7 @@ func branchBoundDAG(app *workflow.App, m plan.Model, obj Objective, opts Options
 			return sh
 		}
 		sh.stats.Expanded++
-		if sh.prunes(inc, dagPartialBound(app, m, obj, g, pairs, depth)) {
+		if sh.prunes(inc, dagPartialBound(app, m, obj, g, precClosure, pairs, depth)) {
 			sh.stats.Pruned++
 			return sh
 		}
@@ -568,7 +568,7 @@ func bnbDAGRec(app *workflow.App, m plan.Model, obj Objective, opts Options, inc
 	}
 	descend := func() {
 		sh.stats.Expanded++
-		if sh.prunes(inc, dagPartialBound(app, m, obj, g, pairs, i+1)) {
+		if sh.prunes(inc, dagPartialBound(app, m, obj, g, precClosure, pairs, i+1)) {
 			sh.stats.Pruned++
 			return
 		}

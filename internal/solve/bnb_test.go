@@ -234,7 +234,7 @@ func TestPartialBoundsAdmissible(t *testing.T) {
 			pairs := nodePairs(n)
 			g := dag.New(n)
 			for i := 0; i <= len(pairs); i++ {
-				if b := dagPartialBound(small, m, obj, g, pairs, i); b.Greater(dagSol.Value) {
+				if b := dagPartialBound(small, m, obj, g, nil, pairs, i); b.Greater(dagSol.Value) {
 					t.Fatalf("%s/%s optimal DAG prefix %d: bound %s exceeds optimum %s",
 						m, obj, i, b, dagSol.Value)
 				}
@@ -279,7 +279,7 @@ func TestDAGSourceFloorBinds(t *testing.T) {
 				floor = u
 			}
 		}
-		got := dagPartialBound(app, m, PeriodObjective, g, pairs, 0)
+		got := dagPartialBound(app, m, PeriodObjective, g, nil, pairs, 0)
 		if !got.Equal(floor) {
 			t.Fatalf("%s fully-open bound %s, want the source floor %s", m, got, floor)
 		}
@@ -294,7 +294,7 @@ func TestDAGSourceFloorBinds(t *testing.T) {
 	// optimal DAG by TestPartialBoundsAdmissible; spot-check a decided edge
 	// removes its head from the candidate set.
 	g.AddEdge(0, 1)
-	got := dagPartialBound(app, plan.InOrder, PeriodObjective, g, pairs, 1)
+	got := dagPartialBound(app, plan.InOrder, PeriodObjective, g, nil, pairs, 1)
 	floor := cexecUnit(app, plan.InOrder, 0, 1)
 	for _, v := range []int{2, 3} {
 		if u := cexecUnit(app, plan.InOrder, v, 0); u.Less(floor) {
@@ -303,6 +303,114 @@ func TestDAGSourceFloorBinds(t *testing.T) {
 	}
 	if got.Less(floor) {
 		t.Fatalf("bound %s below the candidate-source floor %s after deciding an edge", got, floor)
+	}
+}
+
+// TestDAGPrecedenceBoundAdmissible checks the precedence-aware DAG bound
+// against the blind enumeration: on precedence-constrained instances the
+// partial bound — fed the precedence closure exactly as branchBoundDAG
+// feeds it — never exceeds the ExactDAG optimum at any prefix of the
+// optimal DAG's incremental construction, and branch-and-bound pruned by
+// it still returns the blind optimum.
+func TestDAGPrecedenceBoundAdmissible(t *testing.T) {
+	for _, seed := range []int64{8, 21, 33} {
+		app := gen.AppWithPrecedence(gen.NewRand(seed), 4, gen.Mixed, 0.4)
+		if !app.HasPrecedence() {
+			t.Fatalf("seed %d produced no precedence constraints", seed)
+		}
+		prec, err := app.Precedence().TransitiveClosure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := app.N()
+		pairs := nodePairs(n)
+		for _, m := range []plan.Model{plan.Overlap, plan.InOrder} {
+			for _, obj := range []Objective{PeriodObjective, LatencyObjective} {
+				blind := solveOnce(t, app, m, obj,
+					Options{Method: ExactDAG, Orch: smallOrch(), Workers: 1})
+				g := dag.New(n)
+				for i := 0; i <= len(pairs); i++ {
+					if b := dagPartialBound(app, m, obj, g, prec, pairs, i); b.Greater(blind.Value) {
+						t.Fatalf("seed %d %s/%s optimal DAG prefix %d: bound %s exceeds optimum %s",
+							seed, m, obj, i, b, blind.Value)
+					}
+					if i < len(pairs) {
+						u, v := pairs[i][0], pairs[i][1]
+						if blind.Graph.Graph().HasEdge(u, v) {
+							g.AddEdge(u, v)
+						} else if blind.Graph.Graph().HasEdge(v, u) {
+							g.AddEdge(v, u)
+						}
+					}
+				}
+				pruned := solveOnce(t, app, m, obj,
+					Options{Method: BranchBound, Family: FamilyDAG, Orch: smallOrch(), Workers: 1})
+				if !pruned.Value.Equal(blind.Value) {
+					t.Fatalf("seed %d %s/%s: branch-and-bound %s diverged from blind %s",
+						seed, m, obj, pruned.Value, blind.Value)
+				}
+			}
+		}
+	}
+}
+
+// TestDAGPrecedenceLastFloorExactOnTotalOrder pins the strength the
+// precedence-aware bound adds: under a total-order precedence the unique
+// last-position candidate carries every other service's selectivity
+// EXACTLY — growth included, where the precedence-blind bound worst-cases
+// expanding services to factor 1 — so on an all-expanding instance the
+// fully-open root bound equals the chain family's exact last-position
+// floor, which here is the blind-enumeration optimum itself.
+func TestDAGPrecedenceLastFloorExactOnTotalOrder(t *testing.T) {
+	services := []workflow.Service{
+		{Name: "a", Cost: rat.New(1, 4), Selectivity: rat.I(2)},
+		{Name: "b", Cost: rat.New(1, 3), Selectivity: rat.New(3, 2)},
+		{Name: "c", Cost: rat.New(1, 2), Selectivity: rat.New(5, 4)},
+		{Name: "d", Cost: rat.New(1, 8), Selectivity: rat.I(3)},
+	}
+	app, err := workflow.New(services, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := app.Precedence().TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := app.N()
+	pairs := nodePairs(n)
+	g := dag.New(n)
+
+	// d is the only node without precedence successors, so it ends every
+	// valid completion on input product σa·σb·σc = 15/4 exactly; its
+	// last-position floor σa·σb·σc·max(c_d, σ_d) = 45/4 under OVERLAP.
+	want := rat.New(45, 4)
+	got := dagPartialBound(app, plan.Overlap, PeriodObjective, g, prec, pairs, 0)
+	if !got.Equal(want) {
+		t.Fatalf("fully-open precedence bound %s, want the exact last-position floor %s", got, want)
+	}
+	// Without the closure the growth is invisible: every selectivity > 1
+	// worst-cases to 1 and the bound collapses to the largest per-unit term.
+	blind := dagPartialBound(app, plan.Overlap, PeriodObjective, g, nil, pairs, 0)
+	if !blind.Less(got) {
+		t.Fatalf("precedence-blind bound %s not below the precedence-aware %s", blind, got)
+	}
+	// The floor is tight: the blind DAG enumeration's optimum equals it
+	// (the total order admits only the chain, whose bottleneck is d's
+	// output copy), so the root bound certifies optimality before the
+	// search decides a single pair.
+	sol := solveOnce(t, app, plan.Overlap, PeriodObjective,
+		Options{Method: ExactDAG, Orch: smallOrch(), Workers: 1})
+	if !sol.Value.Equal(want) {
+		t.Fatalf("ExactDAG optimum %s, want %s", sol.Value, want)
+	}
+	// ONE-PORT recovers the chain-style additive unit on the same exact
+	// product: σa·σb·σc·(c_d + σ_d) ≤ bound ≤ optimum.
+	floor1p := rat.New(15, 4).Mul(rat.New(1, 8).Add(rat.I(3)))
+	got1p := dagPartialBound(app, plan.InOrder, PeriodObjective, g, prec, pairs, 0)
+	sol1p := solveOnce(t, app, plan.InOrder, PeriodObjective,
+		Options{Method: ExactDAG, Orch: smallOrch(), Workers: 1})
+	if got1p.Less(floor1p) || got1p.Greater(sol1p.Value) {
+		t.Fatalf("one-port bound %s outside [floor %s, optimum %s]", got1p, floor1p, sol1p.Value)
 	}
 }
 

@@ -145,7 +145,17 @@ func forestPartialBound(app *workflow.App, m plan.Model, obj Objective, parent [
 // the remaining pairs may each stay absent or add one edge in either
 // direction. Only nodes touched by an undecided pair ("open") can gain
 // predecessors, successors or ancestors.
-func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Graph, pairs [][2]int, decided int) rat.Rat {
+//
+// prec is the transitive closure of the application's precedence
+// constraints (nil or edgeless means unconstrained). A valid completion
+// must contain every precedence edge in its own closure, so a precedence
+// predecessor u of v is an ancestor of v in EVERY valid completion: its
+// selectivity enters v's input product exactly — growth (σ > 1)
+// included, where the optional-ancestor worst case must clamp to 1 — and
+// precedence descendants of v can never feed or precede v. This is what
+// lets the last-position floor below recover the chain family's exact
+// floor when precedence is a total order.
+func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Graph, prec *dag.Graph, pairs [][2]int, decided int) rat.Rat {
 	n := app.N()
 	if n == 0 {
 		return rat.Zero
@@ -154,14 +164,21 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 	if err != nil {
 		return rat.Zero // cyclic partial graph: the caller prunes it outright
 	}
+	constrained := prec != nil && prec.EdgeCount() > 0
+	// mandated(u, v): u precedes v in every valid completion.
+	mandated := func(u, v int) bool {
+		return constrained && prec.HasEdge(u, v)
+	}
 	open := make([]bool, n)
 	for i := decided; i < len(pairs); i++ {
 		open[pairs[i][0]] = true
 		open[pairs[i][1]] = true
 	}
-	// minProd[v]: smallest reachable input product. The ancestor set of v is
-	// final once neither v nor any of its ancestors is open; otherwise every
-	// non-descendant shrinking service may still move above v.
+	// minProd[v]: smallest reachable input product. Decided and
+	// precedence-mandated ancestors contribute their exact selectivity;
+	// the ancestor set is final once neither v nor any of its ancestors is
+	// open; otherwise every service that may still move above v — not a
+	// decided or mandated descendant — contributes its worst case.
 	minProd := make([]rat.Rat, n)
 	minOut := make([]rat.Rat, n)
 	for v := 0; v < n; v++ {
@@ -173,9 +190,17 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 				grows = true
 			}
 		})
+		if constrained {
+			for _, u := range prec.Pred(v) { // closure: preds = all mandated ancestors
+				if !anc[v].Has(u) {
+					p = p.Mul(app.Selectivity(u))
+				}
+			}
+		}
 		if grows {
 			for u := 0; u < n; u++ {
-				if u == v || anc[v].Has(u) || anc[u].Has(v) {
+				if u == v || anc[v].Has(u) || anc[u].Has(v) ||
+					mandated(u, v) || mandated(v, u) {
 					continue
 				}
 				p = p.Mul(shrinkFactor(app, u))
@@ -201,7 +226,8 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 			} else {
 				cin = rat.One
 				for u := 0; u < n; u++ {
-					if u == v || anc[u].Has(v) { // descendants cannot feed v
+					// Decided or mandated descendants cannot feed v.
+					if u == v || anc[u].Has(v) || mandated(v, u) {
 						continue
 					}
 					cin = rat.Min(cin, minOut[u])
@@ -221,21 +247,21 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 			}
 			bound = rat.Max(bound, cexec)
 		}
-		// Source floor — the DAG family's analogue of the chain bound's
-		// last-position floor (ROADMAP called this family's bound the
-		// weakest). Every completion is acyclic, so its topological first
-		// node has NO predecessors: it runs on input product exactly 1,
-		// not the shrunk minProd the per-node terms use. Only a node
-		// without decided predecessors can end up there, edges only get
-		// added (its final out-degree ≥ the decided one, and cexecUnit is
-		// monotone in k), so the minimum unit-volume Cexec over those
-		// candidates bounds every completion. On shrinking workloads with
-		// most pairs still open the per-node terms collapse toward the
-		// full shrink product and this floor is the binding part.
+		// Source floor — every completion is acyclic, so its topological
+		// first node has NO predecessors: it runs on input product exactly
+		// 1, not the shrunk minProd the per-node terms use. Only a node
+		// without decided predecessors — and without precedence
+		// predecessors, which force a predecessor in every valid
+		// completion — can end up there, edges only get added (its final
+		// out-degree ≥ the decided one, and cexecUnit is monotone in k),
+		// so the minimum unit-volume Cexec over those candidates bounds
+		// every completion. On shrinking workloads with most pairs still
+		// open the per-node terms collapse toward the full shrink product
+		// and this floor is the binding part.
 		var src rat.Rat
 		haveSrc := false
 		for v := 0; v < n; v++ {
-			if len(g.Pred(v)) > 0 {
+			if len(g.Pred(v)) > 0 || (constrained && len(prec.Pred(v)) > 0) {
 				continue
 			}
 			t := cexecUnit(app, m, v, g.OutDegree(v))
@@ -245,6 +271,39 @@ func dagPartialBound(app *workflow.App, m plan.Model, obj Objective, g *dag.Grap
 		}
 		if haveSrc {
 			bound = rat.Max(bound, src)
+		}
+		// Last-position floor — the mirror of the source floor at the
+		// other end of the topological order: every completion has a last
+		// node, which can only be a node without decided successors and
+		// without precedence successors, and that node pays at least its
+		// computation and one output copy on its smallest reachable input
+		// product. The unit term deliberately omits the Cin component:
+		// with several predecessors, Cin sums pred out-volumes while
+		// minProd multiplies ancestor selectivities, and a product of
+		// expanding branches can exceed the sum — including Cin here would
+		// overshoot. The floor's strength comes from minProd's
+		// precedence-exact products: under a total-order precedence the
+		// (unique) candidate carries every other selectivity exactly,
+		// growth included — the chain family's exact last-position floor.
+		var last rat.Rat
+		haveLast := false
+		for v := 0; v < n; v++ {
+			if g.OutDegree(v) > 0 || (constrained && len(prec.Succ(v)) > 0) {
+				continue
+			}
+			var unit rat.Rat
+			if m == plan.Overlap {
+				unit = rat.Max(app.Cost(v), app.Selectivity(v))
+			} else {
+				unit = app.Cost(v).Add(app.Selectivity(v))
+			}
+			t := minProd[v].Mul(unit)
+			if !haveLast || t.Less(last) {
+				last, haveLast = t, true
+			}
+		}
+		if haveLast {
+			bound = rat.Max(bound, last)
 		}
 		return bound
 	}
