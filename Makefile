@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build bins test test-short test-race test-alloc bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster smoke-exec
+.PHONY: build bins test test-short test-race test-alloc bench bench-json smoke-orch fuzz vet check smoke-filterd smoke-cluster smoke-exec smoke-chaos
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,9 @@ test-short:
 # orchestration order search (shared incumbent + per-shard scratch) and
 # its event-graph engine, the plan cache's singleflight, the service's
 # exactly-one-solve / restart / subscription / backpressure suites, the
-# persistent store, the cluster router with its circuit breakers, the
+# persistent store, the cluster router with its circuit breakers (and
+# the replication chaos suite: each replica killed in turn under seeded
+# faults), the gossip agent, the deterministic fault injector, the
 # metrics registry, the data-plane executor (pipelined stage network +
 # closed re-plan loop against an in-process filterd) and its stream
 # substrate, plus one race pass of the concurrent experiment harness
@@ -38,7 +40,7 @@ test-short:
 # covered unraced by `test`).
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/ ./internal/exec/ ./internal/sim/
+	$(GO) test -race ./internal/par/ ./internal/solve/ ./internal/orchestrate/ ./internal/eventgraph/ ./internal/plancache/ ./internal/service/ ./internal/store/ ./internal/cluster/ ./internal/resilience/ ./internal/metrics/ ./internal/exec/ ./internal/sim/ ./internal/faults/
 	$(GO) test -race -run TestAllWorkersPreservesOrderAndResults ./internal/experiments/
 
 # Allocation-regression guards: the orchestration inner loop
@@ -74,6 +76,14 @@ smoke-filterd:
 # value (CI runs the same check).
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# Replication chaos smoke: 3 gossiping replicas + a router with R=2 and
+# the deterministic fault injector armed; kill and restart the owning
+# replica mid-traffic and require zero 5xx, answers bit-identical to the
+# filterplan CLI, and the restarted replica re-learning its registry via
+# anti-entropy (CI runs the same check).
+smoke-chaos:
+	./scripts/smoke_chaos.sh
 
 # End-to-end data-plane smoke: boot filterd, run filterexec with an
 # injected cost drift, and require a re-plan PATCH plus a hot-swapped

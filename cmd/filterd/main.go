@@ -14,9 +14,15 @@
 // solve is written through to disk and warm-loaded on restart, so a
 // restarted daemon answers previously solved requests bit-identical to
 // before, without re-solving. With -peers the daemon is a cluster router
-// (internal/cluster): requests are forwarded to the replica owning the
-// canonical hash's shard (-shard-bits prefix bits), with health checks
-// and local-solve failover.
+// (internal/cluster): requests are forwarded to the replicas owning the
+// canonical hash's shard (-shard-bits prefix bits, -replicas owners per
+// shard), with health checks, read failover across the owners, write
+// (PATCH) fan-out to all of them, and local-solve failover as the last
+// resort. With -sync-peers a replica gossips its drift registry and plan
+// entries with its co-owners (anti-entropy over POST /v1/sync), so
+// PATCHed state converges on every owner and a restarted replica streams
+// back what it missed. -fault-seed arms the deterministic fault injector
+// (internal/faults) for chaos testing.
 //
 // Observability (DESIGN.md §7): every request carries an
 // X-Filterd-Request-Id (inbound honored, otherwise generated) echoed on
@@ -30,7 +36,9 @@
 // Usage:
 //
 //	filterd [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-services N]
-//	        [-data-dir DIR] [-peers URL,URL,...] [-shard-bits B]
+//	        [-data-dir DIR] [-peers URL,URL,...] [-shard-bits B] [-replicas R]
+//	        [-sync-peers URL,URL,...] [-gossip-interval D]
+//	        [-fault-seed S] [-fault-drop N] [-fault-error N] [-fault-truncate N] [-fault-delay N]
 //	        [-log-level info] [-log-format text] [-trace-requests N]
 //	        [-debug-addr ADDR] [-version]
 //
@@ -81,6 +89,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -98,6 +107,14 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "persistent plan store directory (empty: in-memory only)")
 		peers       = flag.String("peers", "", "comma-separated replica base URLs; when set, run as the cluster router")
 		shardBits   = flag.Int("shard-bits", 8, "canonical-hash prefix bits for cluster sharding (2^B shards)")
+		replicas    = flag.Int("replicas", 2, "owners per shard R (router mode): reads fail over across them, writes fan to all")
+		syncPeers   = flag.String("sync-peers", "", "comma-separated co-replica base URLs to anti-entropy sync with (replica mode)")
+		gossipEvery = flag.Duration("gossip-interval", 2*time.Second, "anti-entropy period for -sync-peers")
+		faultSeed   = flag.Int64("fault-seed", 0, "deterministic fault-injection seed (chaos testing; 0 disables)")
+		faultDrop   = flag.Int("fault-drop", 0, "drop 1-in-N forwarded requests (with -fault-seed)")
+		faultErr    = flag.Int("fault-error", 0, "turn 1-in-N forwarded requests into 502s (with -fault-seed)")
+		faultTrunc  = flag.Int("fault-truncate", 0, "truncate 1-in-N forwarded response bodies (with -fault-seed)")
+		faultDelay  = flag.Int("fault-delay", 0, "delay 1-in-N forwarded requests (with -fault-seed)")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 		logFormat   = flag.String("log-format", "text", "log line format: text or json")
 		traceReqs   = flag.Int("trace-requests", 256, "request spans kept for GET /debug/requests (0 disables tracing)")
@@ -150,6 +167,25 @@ func main() {
 		logger.Info("warm-loaded persisted plans", "dir", *dataDir, "loaded", ls.Loaded, "skipped", ls.Skipped)
 	}
 
+	// Deterministic fault injection (chaos testing): with -fault-seed the
+	// router's forwarding client — and the store's write path — run
+	// through the seeded injector, so scripts/smoke_chaos.sh exercises
+	// replica loss and wire noise on a reproducible schedule.
+	var injector *faults.Injector
+	if *faultSeed != 0 {
+		injector = faults.New(faults.Config{
+			Seed:     *faultSeed,
+			Drop:     *faultDrop,
+			Err:      *faultErr,
+			Truncate: *faultTrunc,
+			Delay:    *faultDelay,
+		})
+		if st != nil {
+			st.SetHooks(injector.StoreHooks())
+		}
+		logger.Warn("fault injection armed", "schedule", injector.String())
+	}
+
 	handler := http.Handler(service.Handler(srv))
 	var router *cluster.Router
 	if *peers != "" {
@@ -157,20 +193,55 @@ func main() {
 		for i := range peerList {
 			peerList[i] = strings.TrimSpace(peerList[i])
 		}
+		var client *http.Client
+		if injector != nil {
+			client = &http.Client{Transport: injector.RoundTripper(nil)}
+		}
 		router, err = cluster.New(cluster.Config{
 			Peers:     peerList,
 			ShardBits: *shardBits,
+			Replicas:  *replicas,
 			Local:     srv,
 			Metrics:   reg,
 			Tracer:    tracer,
 			Logger:    logger,
+			Client:    client,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		handler = router
 		logger.Info("routing shards across peers (local failover attached)",
-			"shards", 1<<*shardBits, "peers", len(peerList))
+			"shards", 1<<*shardBits, "replicas", *replicas, "peers", len(peerList))
+	}
+
+	// Replica-side anti-entropy: with -sync-peers this replica gossips
+	// its drift registry and plan-store entries with its co-owners, so
+	// PATCHed state converges on every owner and a restarted replica
+	// streams back what it missed instead of cold-solving it.
+	var gossip *cluster.Gossip
+	if *syncPeers != "" {
+		peerList := strings.Split(*syncPeers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		var client *http.Client
+		if injector != nil {
+			client = &http.Client{Transport: injector.RoundTripper(nil)}
+		}
+		gossip, err = cluster.NewGossip(cluster.GossipConfig{
+			Peers:    peerList,
+			Local:    srv,
+			Interval: *gossipEvery,
+			Client:   client,
+			Metrics:  reg,
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		gossip.Start()
+		logger.Info("anti-entropy sync started", "peers", len(peerList), "interval", gossipEvery.String())
 	}
 
 	var debugSrv *http.Server
@@ -204,7 +275,7 @@ func main() {
 	select {
 	case err := <-done:
 		// ListenAndServe only returns on failure (e.g. port in use).
-		shutdown(logger, srv, router, st, debugSrv)
+		shutdown(logger, srv, router, gossip, st, debugSrv)
 		fatal(err)
 	case s := <-sig:
 		logger.Info("shutting down on signal", "signal", s.String())
@@ -217,7 +288,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Warn("shutdown drain incomplete", "err", err)
 	}
-	shutdown(logger, srv, router, st, debugSrv)
+	shutdown(logger, srv, router, gossip, st, debugSrv)
 	stats := srv.Stats()
 	logger.Info("served", "plan_requests", stats.PlanRequests, "cache_hits", stats.Cache.Hits,
 		"coalesced", stats.Cache.Coalesced, "solves", stats.Solves)
@@ -265,10 +336,10 @@ func newDebugServer(addr string, tracer *obs.Tracer) *http.Server {
 }
 
 // shutdown releases the daemon's moving parts in dependency order: debug
-// listener, router health loop, solver pool, then the store flush (every
-// entry is already on disk write-through; the flush forces directory
-// metadata out too).
-func shutdown(logger *slog.Logger, srv *service.Server, router *cluster.Router, st *store.Store, debugSrv *http.Server) {
+// listener, router health loop, gossip loop, solver pool, then the store
+// flush (every entry is already on disk write-through; the flush forces
+// directory metadata out too).
+func shutdown(logger *slog.Logger, srv *service.Server, router *cluster.Router, gossip *cluster.Gossip, st *store.Store, debugSrv *http.Server) {
 	if debugSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		debugSrv.Shutdown(ctx)
@@ -276,6 +347,9 @@ func shutdown(logger *slog.Logger, srv *service.Server, router *cluster.Router, 
 	}
 	if router != nil {
 		router.Close()
+	}
+	if gossip != nil {
+		gossip.Close()
 	}
 	srv.Close()
 	if st != nil {

@@ -6,7 +6,10 @@
 // follow one request ID from the response header through the span ring
 // (/debug/requests) to the plan's provenance record (/v1/explain), and
 // read the counters — JSON via /v1/stats and Prometheus text via
-// /metrics (what a collector scrapes). The finale closes the loop with
+// /metrics (what a collector scrapes). Then replication (DESIGN.md §4–5):
+// a two-owner cluster router loses its preferred owner mid-traffic and
+// the co-owner serves the identical answer — zero 5xx, with the loss
+// visible on the under-replicated gauge. The finale closes the loop with
 // the data plane (internal/exec): execute the planned schedule on a
 // synthetic tuple stream whose real cost differs from the declared one,
 // watch the executor measure the drift, PATCH the instance, and hot-swap
@@ -30,7 +33,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/rat"
@@ -213,6 +218,72 @@ func main() {
 			}
 		}
 	}
+
+	fmt.Println("== replication: kill a replica mid-traffic, the answer survives ==")
+	// The cluster router (filterd -peers ... -replicas 2): with R=2 every
+	// shard has two owners, reads fail over down the owner ladder, and the
+	// determinism invariant guarantees that whoever answers, answers with
+	// the same bytes — so losing a replica is invisible to the client, not
+	// merely survivable. (scripts/smoke_chaos.sh is this story against
+	// real processes, under a seeded fault schedule, with gossip re-filling
+	// the restarted replica.)
+	repA := service.New(service.Config{Workers: 1})
+	defer repA.Close()
+	tsA := httptest.NewServer(service.Handler(repA))
+	defer tsA.Close()
+	repB := service.New(service.Config{Workers: 1})
+	defer repB.Close()
+	tsB := httptest.NewServer(service.Handler(repB))
+	defer tsB.Close()
+	routerLocal := service.New(service.Config{Workers: 1})
+	defer routerLocal.Close()
+	router, err := cluster.New(cluster.Config{
+		Peers:          []string{tsA.URL, tsB.URL},
+		Replicas:       2,
+		Local:          routerLocal,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+	gw := httptest.NewServer(router)
+	defer gw.Close()
+
+	routedBody := fmt.Sprintf(`{"instance": %s, "model": "inorder", "objective": "period"}`, instance)
+	r1, err := http.Post(gw.URL+"/v1/plan", "application/json", strings.NewReader(routedBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := r1.Header.Get("X-Filterd-Shard-Owner")
+	routed := decode(r1)
+	fmt.Printf("  routed to owner %s: period %s\n", owner, routed["value"])
+
+	// Kill the preferred owner. The next read lands on the co-owner (or,
+	// with every owner gone, the router's embedded local solve) — the
+	// client sees a 200 and the identical value either way.
+	if owner == tsA.URL {
+		tsA.Close()
+	} else {
+		tsB.Close()
+	}
+	r2, err := http.Post(gw.URL+"/v1/plan", "application/json", strings.NewReader(routedBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	servedBy := r2.Header.Get("X-Filterd-Served-By")
+	survived := decode(r2)
+	fmt.Printf("  owner killed; served by %s: period %s (unchanged: %v)\n",
+		servedBy, survived["value"], survived["value"] == routed["value"])
+
+	// The router's availability census notices the loss: once the dead
+	// owner's breaker opens, shards with fewer than R live owners show up
+	// in the under-replicated gauge (also on /v1/stats and /metrics).
+	for deadline := time.Now().Add(5 * time.Second); router.Stats().UnderReplicated == 0 && time.Now().Before(deadline); {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("  under-replicated shards: %d (the health loop heals this on restart)\n",
+		router.Stats().UnderReplicated)
 
 	fmt.Println("== the data plane: plan → execute → observe → re-plan (internal/exec) ==")
 	// The stream executor speaks the same HTTP API the sections above

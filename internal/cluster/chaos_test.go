@@ -1,0 +1,167 @@
+package cluster
+
+// The replication chaos suites (DESIGN.md §4): a 3-replica R=2 cluster
+// driven through a deterministic fault injector, killing each replica in
+// turn mid-traffic. The asserted properties — zero client-visible 5xx,
+// every answer bit-identical to a fault-free standalone replica, the
+// under-replication gauge rising on the kill and healing on the restore
+// — hold under every goroutine interleaving, which is why the suite is
+// race-enabled.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/service"
+)
+
+// newChaosCluster boots n replicas and a router whose forwards AND
+// health probes ride the injector's transport, so SetDown kills a
+// replica end to end without tearing down its listener.
+func newChaosCluster(t *testing.T, n, r int, in *faults.Injector) (*Router, *httptest.Server, []*replica) {
+	t.Helper()
+	replicas := make([]*replica, n)
+	peers := make([]string, n)
+	for i := range replicas {
+		replicas[i] = newReplica(t)
+		peers[i] = replicas[i].ts.URL
+	}
+	local := service.New(service.Config{Workers: 2})
+	t.Cleanup(local.Close)
+	rt, err := New(Config{
+		Peers:           peers,
+		Local:           local,
+		Replicas:        r,
+		HealthInterval:  100 * time.Millisecond,
+		BreakerCooldown: 300 * time.Millisecond,
+		Client:          &http.Client{Transport: in.RoundTripper(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	gw := httptest.NewServer(rt)
+	t.Cleanup(gw.Close)
+	return rt, gw, replicas
+}
+
+// TestChaosKillAnyReplica is the acceptance suite: under scheduled wire
+// faults, kill each replica in turn mid-traffic and require zero 5xx
+// and bit-identical answers throughout, with the under-replication
+// gauge observing the loss and the heal.
+func TestChaosKillAnyReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not short")
+	}
+	instances := []string{"mixed6.json", "webquery8.json"}
+	bodies := make([]string, len(instances))
+	for i, name := range instances {
+		bodies[i] = fmt.Sprintf(`{"instance": %s, "model": "overlap", "objective": "period"}`,
+			readTestdata(t, name))
+	}
+
+	// The fault-free reference answers, from a standalone replica. The
+	// comparison covers the deterministic plan content — hash, objective
+	// value, schedule — not the serve provenance (cached/outcome), which
+	// legitimately varies between a cold owner and a warm one.
+	standalone := newReplica(t)
+	want := make([]planWire, len(bodies))
+	for i, body := range bodies {
+		resp := post(t, standalone.ts.URL+"/v1/plan", body)
+		err := json.NewDecoder(resp.Body).Decode(&want[i])
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference solve %d: status %d (%v)", i, resp.StatusCode, err)
+		}
+	}
+
+	for victim := 0; victim < 3; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("victim-%d", victim), func(t *testing.T) {
+			// Moderate scheduled noise on every wire, same seed per
+			// subtest: drops, injected 502s, torn bodies, small delays.
+			in := faults.New(faults.Config{
+				Seed: 20090822, Drop: 12, Err: 15, Truncate: 18,
+				Delay: 6, MaxDelay: 2 * time.Millisecond,
+			})
+			rt, gw, replicas := newChaosCluster(t, 3, 2, in)
+
+			hit := func(round int) {
+				t.Helper()
+				ref := want[round%len(bodies)]
+				resp := post(t, gw.URL+"/v1/plan", bodies[round%len(bodies)])
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("round %d: reading response: %v", round, err)
+				}
+				if resp.StatusCode >= http.StatusInternalServerError {
+					t.Fatalf("round %d: client saw a %d: %s", round, resp.StatusCode, raw)
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, raw)
+				}
+				var got planWire
+				if err := json.Unmarshal(raw, &got); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if got.Hash != ref.Hash || !got.Value.Equal(ref.Value) {
+					t.Fatalf("round %d: answer %s/%s differs from the reference %s/%s",
+						round, got.Hash, got.Value, ref.Hash, ref.Value)
+				}
+				var a, b any
+				json.Unmarshal(got.Schedule, &a)
+				json.Unmarshal(ref.Schedule, &b)
+				aj, _ := json.Marshal(a)
+				bj, _ := json.Marshal(b)
+				if string(aj) != string(bj) {
+					t.Fatalf("round %d: schedule differs from the reference", round)
+				}
+			}
+
+			round := 0
+			for ; round < 8; round++ {
+				hit(round)
+			}
+
+			// Kill the victim mid-traffic: forwards and probes both drop.
+			in.SetDown(replicas[victim].ts.URL, true)
+			for end := round + 12; round < end; round++ {
+				hit(round)
+			}
+			// The victim's breaker has opened by now (forwards and probes
+			// both failed): some shards run below R.
+			deadline := time.Now().Add(5 * time.Second)
+			for rt.Stats().UnderReplicated == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("under-replication never observed: %+v", rt.Stats())
+				}
+				hit(round)
+				round++
+			}
+
+			// Restore the victim: the health loop probes it back to
+			// available and the cluster re-heals to full replication.
+			in.SetDown(replicas[victim].ts.URL, false)
+			for rt.Stats().UnderReplicated != 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("cluster did not re-heal: %+v", rt.Stats())
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			for end := round + 8; round < end; round++ {
+				hit(round)
+			}
+
+			if st := rt.Stats(); st.PeersUp != 3 {
+				t.Errorf("after heal: %d peers up, want 3 (%+v)", st.PeersUp, st)
+			}
+		})
+	}
+}

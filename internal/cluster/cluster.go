@@ -75,6 +75,14 @@ type Config struct {
 	// clamped to [1, 16]). More shards than peers just means finer
 	// round-robin interleaving.
 	ShardBits int
+	// Replicas is R, the owners per shard (default 2, clamped to
+	// [1, len(Peers)]): shard s belongs to Peers[(s+k) mod N] for
+	// k = 0..R-1. Reads try the owners in that order and fail over
+	// instantly — determinism makes every owner's answer bit-identical,
+	// so failover needs no reconciliation. Writes (PATCH) commit on the
+	// first owner that answers and then fan to the remaining owners, so
+	// drift state survives any single replica loss.
+	Replicas int
 	// Local is the embedded failover service: requests whose owner is
 	// down are solved here. Determinism makes the failover transparent —
 	// the local answer is bit-identical to the owner's.
@@ -147,12 +155,23 @@ type Stats struct {
 	// Forwarded counts requests served by their owner; LocalServed the
 	// requests the router owned locally or could not route (bad bodies
 	// answered without routing included); Failovers the forwards that
-	// fell back to the local service because the owner was down or
+	// fell back to the local service because every owner was down or
 	// erroring. Retries counts forward re-attempts.
 	Forwarded   int64
 	LocalServed int64
 	Failovers   int64
 	Retries     int64
+	// Replicas is the configured owners per shard (R); UnderReplicated
+	// counts shards with fewer than R owners currently available.
+	// ReplicaFailovers counts reads served by a non-preferred owner
+	// because an earlier owner failed; FanoutWrites the secondary copies
+	// of write fan-out (committed primary excluded); FanoutErrors the
+	// copies that failed (tolerated — gossip converges the owner later).
+	Replicas         int
+	UnderReplicated  int
+	ReplicaFailovers int64
+	FanoutWrites     int64
+	FanoutErrors     int64
 }
 
 // Router is the gateway handler. Create with New, release with Close.
@@ -175,10 +194,13 @@ type Router struct {
 	baseCancel context.CancelFunc
 	healthWg   sync.WaitGroup
 
-	forwarded   atomic.Int64
-	localServed atomic.Int64
-	failovers   atomic.Int64
-	retries     atomic.Int64
+	forwarded        atomic.Int64
+	localServed      atomic.Int64
+	failovers        atomic.Int64
+	retries          atomic.Int64
+	replicaFailovers atomic.Int64
+	fanoutWrites     atomic.Int64
+	fanoutErrors     atomic.Int64
 
 	metrics         *metrics.Registry
 	mForwards       *metrics.CounterVec
@@ -187,6 +209,8 @@ type Router struct {
 	mBreakerState   *metrics.GaugeVec
 	mBreakerOpens   *metrics.CounterVec
 	mForwardSeconds *metrics.Histogram
+	mFanoutWrites   *metrics.CounterVec
+	mShardReplicas  *metrics.GaugeVec
 }
 
 // New validates the configuration and starts the health-check loop.
@@ -202,6 +226,15 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.ShardBits < 1 || cfg.ShardBits > 16 {
 		return nil, fmt.Errorf("cluster: shard bits %d out of range [1, 16]", cfg.ShardBits)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(cfg.Peers) {
+		cfg.Replicas = len(cfg.Peers)
 	}
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = 2 * time.Second
@@ -235,10 +268,14 @@ func New(cfg Config) (*Router, error) {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	rt := &Router{
-		cfg:     cfg,
-		local:   service.Handler(cfg.Local),
-		client:  cfg.Client,
-		probe:   &http.Client{},
+		cfg:    cfg,
+		local:  service.Handler(cfg.Local),
+		client: cfg.Client,
+		// The probe client stays separate (its timeouts must never mix
+		// with forwards) but shares the transport, so an injected-fault
+		// wire (internal/faults) faults probes and forwards alike — a
+		// "killed" peer looks dead to the health loop too.
+		probe:   &http.Client{Transport: cfg.Client.Transport},
 		stop:    make(chan struct{}),
 		metrics: cfg.Metrics,
 		logger:  logger,
@@ -357,24 +394,68 @@ func (rt *Router) shardOf(hash string) (int, error) {
 	return int(v >> (32 - rt.cfg.ShardBits)), nil
 }
 
-// ownerOf resolves a shard's replica.
+// ownerOf resolves a shard's preferred (primary) owner.
 func (rt *Router) ownerOf(shard int) *peer {
 	return rt.peers[shard%len(rt.peers)]
+}
+
+// ownersOf resolves a shard's R owners in preference order: the primary
+// first, then its successors around the peer ring. Every owner holds the
+// shard's state (writes fan out, the anti-entropy loop converges the
+// rest), so reads may fail over along this list without changing any
+// answer.
+func (rt *Router) ownersOf(shard int) []*peer {
+	n := len(rt.peers)
+	owners := make([]*peer, 0, rt.cfg.Replicas)
+	for k := 0; k < rt.cfg.Replicas; k++ {
+		owners = append(owners, rt.peers[(shard+k)%n])
+	}
+	return owners
 }
 
 // Stats returns a snapshot of the router counters.
 func (rt *Router) Stats() Stats {
 	st := Stats{
-		Shards:      1 << rt.cfg.ShardBits,
-		Peers:       len(rt.peers),
-		Forwarded:   rt.forwarded.Load(),
-		LocalServed: rt.localServed.Load(),
-		Failovers:   rt.failovers.Load(),
-		Retries:     rt.retries.Load(),
+		Shards:           1 << rt.cfg.ShardBits,
+		Peers:            len(rt.peers),
+		Forwarded:        rt.forwarded.Load(),
+		LocalServed:      rt.localServed.Load(),
+		Failovers:        rt.failovers.Load(),
+		Retries:          rt.retries.Load(),
+		Replicas:         rt.cfg.Replicas,
+		ReplicaFailovers: rt.replicaFailovers.Load(),
+		FanoutWrites:     rt.fanoutWrites.Load(),
+		FanoutErrors:     rt.fanoutErrors.Load(),
 	}
 	for _, p := range rt.peers {
 		if p.available() {
 			st.PeersUp++
+		}
+	}
+	// Owner availability is a function of shard mod len(peers) alone, so
+	// counting the distinct residues under-replicated covers every shard.
+	n := len(rt.peers)
+	residues := n
+	if st.Shards < residues {
+		residues = st.Shards
+	}
+	shardsPerResidue := st.Shards / n
+	for res := 0; res < residues; res++ {
+		up := 0
+		for _, p := range rt.ownersOf(res) {
+			if p.available() {
+				up++
+			}
+		}
+		if up < rt.cfg.Replicas {
+			count := shardsPerResidue
+			if res < st.Shards%n {
+				count++
+			}
+			if st.Shards < n {
+				count = 1
+			}
+			st.UnderReplicated += count
 		}
 	}
 	return st
@@ -566,24 +647,34 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Opens   int64  `json:"breaker_opens"`
 	}
 	out := struct {
-		Role        string     `json:"role"`
-		Version     string     `json:"version"`
-		Revision    string     `json:"revision"`
-		Shards      int        `json:"shards"`
-		Forwarded   int64      `json:"forwarded"`
-		LocalServed int64      `json:"local_served"`
-		Failovers   int64      `json:"failovers"`
-		Retries     int64      `json:"retries"`
-		Peers       []peerJSON `json:"peers"`
+		Role             string     `json:"role"`
+		Version          string     `json:"version"`
+		Revision         string     `json:"revision"`
+		Shards           int        `json:"shards"`
+		Replicas         int        `json:"replicas"`
+		UnderReplicated  int        `json:"under_replicated_shards"`
+		Forwarded        int64      `json:"forwarded"`
+		LocalServed      int64      `json:"local_served"`
+		Failovers        int64      `json:"failovers"`
+		Retries          int64      `json:"retries"`
+		ReplicaFailovers int64      `json:"replica_failovers"`
+		FanoutWrites     int64      `json:"fanout_writes"`
+		FanoutErrors     int64      `json:"fanout_errors"`
+		Peers            []peerJSON `json:"peers"`
 	}{
-		Role:        "router",
-		Version:     rt.version,
-		Revision:    rt.revision,
-		Shards:      st.Shards,
-		Forwarded:   st.Forwarded,
-		LocalServed: st.LocalServed,
-		Failovers:   st.Failovers,
-		Retries:     st.Retries,
+		Role:             "router",
+		Version:          rt.version,
+		Revision:         rt.revision,
+		Shards:           st.Shards,
+		Replicas:         st.Replicas,
+		UnderReplicated:  st.UnderReplicated,
+		Forwarded:        st.Forwarded,
+		LocalServed:      st.LocalServed,
+		Failovers:        st.Failovers,
+		Retries:          st.Retries,
+		ReplicaFailovers: st.ReplicaFailovers,
+		FanoutWrites:     st.FanoutWrites,
+		FanoutErrors:     st.FanoutErrors,
 	}
 	for _, p := range rt.peers {
 		out.Peers = append(out.Peers, peerJSON{
@@ -608,33 +699,116 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok", Role: "router", Version: rt.version, Revision: rt.revision})
 }
 
-// route forwards one request to the owner of hash, falling back to the
-// local service when the owner is down (a hash the router cannot parse is
-// served locally too — the replica produces the canonical error). Routing
-// headers record the decision on every response.
+// route forwards one request to the owners of hash in preference order,
+// falling back to the local service when every owner is down (a hash the
+// router cannot parse is served locally too — the replica produces the
+// canonical error). Determinism makes each owner's answer bit-identical,
+// so failover down the owner list is invisible beyond the Served-By
+// header. A write (PATCH) additionally fans out to the remaining owners
+// after the client's answer commits, so drift state survives the loss of
+// any single owner; a failed copy is tolerated (counted) — the
+// anti-entropy loop converges that owner later. Routing headers record
+// the decision on every response.
 func (rt *Router) route(w http.ResponseWriter, r *http.Request, hash, path string, body []byte) {
 	shard, err := rt.shardOf(hash)
 	if err != nil {
 		rt.serveLocal(w, r, body, "unroutable")
 		return
 	}
-	owner := rt.ownerOf(shard)
-	obs.From(r.Context()).SetShard(shard, owner.url)
+	owners := rt.ownersOf(shard)
+	primary := owners[0]
+	obs.From(r.Context()).SetShard(shard, primary.url)
 	h := w.Header()
 	h.Set("X-Filterd-Shard", strconv.Itoa(shard))
-	h.Set("X-Filterd-Shard-Owner", owner.url)
-	if rt.forward(w, r, owner, path, body) {
+	h.Set("X-Filterd-Shard-Owner", primary.url)
+	if len(owners) > 1 {
+		urls := make([]string, len(owners))
+		for i, p := range owners {
+			urls[i] = p.url
+		}
+		h.Set("X-Filterd-Shard-Owners", strings.Join(urls, ","))
+	}
+	write := r.Method == http.MethodPatch
+	var served *peer
+	for i, p := range owners {
+		if rt.forward(w, r, p, path, body) {
+			served = p
+			break
+		}
+		if i < len(owners)-1 {
+			rt.replicaFailovers.Add(1)
+			rt.logger.Info("failing over to the next shard owner",
+				"request_id", obs.From(r.Context()).ID(),
+				"path", path, "shard", shard, "owner", p.url, "next", owners[i+1].url)
+		}
+	}
+	if served == nil {
+		// No owner committed an answer (down, erroring, or — for a
+		// write — none of them knows the instance) — solve locally. The
+		// determinism invariant makes the answer bit-identical to the
+		// owners', so clients only notice via the Served-By header.
+		rt.failovers.Add(1)
+		rt.mFailovers.With(primary.url).Inc()
+		rt.logger.Warn("failing over to the local service",
+			"request_id", obs.From(r.Context()).ID(),
+			"path", path, "shard", shard, "owner", primary.url)
+		rt.serveLocal(w, r, body, "local-failover")
+	}
+	if write {
+		// Fan the write to the owners that did not serve it. The client's
+		// response is already committed (or served locally); the copies
+		// only keep the co-owners' drift registries and caches warm, so a
+		// 404 from an owner that has not yet learned the instance — or a
+		// dead owner — is tolerated: gossip converges it.
+		for _, p := range owners {
+			if p != served {
+				rt.forwardCopy(r, p, path, body)
+			}
+		}
+	}
+}
+
+// forwardCopy delivers a secondary copy of a write to owner p: same
+// method, path, body and request ID, but no client response writer —
+// only the breaker and the fan-out counters observe the outcome.
+func (rt *Router) forwardCopy(r *http.Request, p *peer, path string, body []byte) {
+	rt.fanoutWrites.Add(1)
+	rt.mFanoutWrites.With(p.url).Inc()
+	if !p.breaker.Allow() {
+		rt.fanoutErrors.Add(1)
 		return
 	}
-	// Failover: the owner is down (or just failed) — solve locally. The
-	// determinism invariant makes the answer bit-identical to the
-	// owner's, so clients only notice via the Served-By header.
-	rt.failovers.Add(1)
-	rt.mFailovers.With(owner.url).Inc()
-	rt.logger.Warn("failing over to the local service",
-		"request_id", obs.From(r.Context()).ID(),
-		"path", path, "shard", shard, "owner", owner.url)
-	rt.serveLocal(w, r, body, "local-failover")
+	// The copy rides the router's base context, not the client's: a
+	// client that disconnects right after its committed answer must not
+	// abort the replication that keeps the co-owners consistent.
+	ctx, cancel := context.WithTimeout(rt.baseCtx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, p.url+path, bytes.NewReader(body))
+	if err != nil {
+		rt.fanoutErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id := r.Header.Get(obs.HeaderRequestID); id != "" {
+		req.Header.Set(obs.HeaderRequestID, id)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		rt.fanoutErrors.Add(1)
+		rt.logger.Info("write fan-out copy failed",
+			"request_id", r.Header.Get(obs.HeaderRequestID), "peer", p.url, "err", err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxRespBytes))
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		p.breaker.Failure()
+		rt.fanoutErrors.Add(1)
+		return
+	}
+	p.seen.Store(true)
+	p.breaker.Success()
 }
 
 // errBreakerOpen aborts a forward (and any retry loop around it) when the
@@ -645,8 +819,18 @@ var errBreakerOpen = fmt.Errorf("cluster: peer breaker open")
 // committed to w; false means nothing was written and the caller can fail
 // over. Each attempt passes the peer's breaker gate, and idempotent
 // methods re-try transient failures up to ForwardRetries times (PATCH
-// never retries — a replayed drift would publish duplicate re-plan
-// events; determinism makes every other forward safe to repeat).
+// never retries against the SAME peer — a replayed drift would publish
+// duplicate re-plan events there; determinism makes every other forward
+// safe to repeat, and the caller's owner list makes a DIFFERENT owner
+// safe for PATCH, since each owner publishes to its own subscribers).
+//
+// A peer's 5xx never commits: it counts as a peer failure exactly like a
+// transport error, so the caller fails over to the next owner (or the
+// local service) and the client never sees a 5xx a healthy replica could
+// have answered. Backpressure (429) and client errors commit as-is — they
+// are answers, not failures. A 404 on a write never commits from a peer:
+// an owner that merely has not learned the instance yet must not mask a
+// co-owner (or the router's own local registry) that knows it.
 //
 // A non-SSE response is buffered in full BEFORE any status or header is
 // committed: a peer dying mid-body therefore surfaces as a retriable
@@ -705,6 +889,29 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, p *peer, path 
 			return err
 		}
 		defer resp.Body.Close()
+		if resp.StatusCode >= http.StatusInternalServerError {
+			// The peer answered, but with a server-side failure. Drain and
+			// treat it as a peer failure: another owner (or the local
+			// service) can produce the real answer, and the zero-5xx
+			// property of the chaos suites depends on it never reaching
+			// the client while a healthy replica remains.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxRespBytes))
+			p.breaker.Failure()
+			return fmt.Errorf("cluster: %s answered %d", p.url, resp.StatusCode)
+		}
+		if r.Method == http.MethodPatch && resp.StatusCode == http.StatusNotFound {
+			// The owner is healthy but has not learned this instance yet
+			// (a fresh restart before its first gossip round). Another
+			// owner may know it — and failing that, the local service
+			// does whenever the plan was forwarded through this router
+			// (route registers it), so a peer's 404 never commits: the
+			// fall-through ends at serveLocal, which either applies the
+			// patch or produces the canonical 404.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxRespBytes))
+			p.seen.Store(true)
+			p.breaker.Success()
+			return resilience.Permanent(fmt.Errorf("cluster: %s does not know the instance", p.url))
+		}
 		h := w.Header()
 		if sse {
 			// Commit and stream: from here the forward cannot retry or

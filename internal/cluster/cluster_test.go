@@ -189,8 +189,10 @@ func TestShardingIsDeterministicAndCovering(t *testing.T) {
 	}
 }
 
-// TestFailoverToLocalSolve kills the owning replica and requires the
-// router to fail over to its local service with the identical answer.
+// TestFailoverToLocalSolve walks the full failover ladder with the
+// default R=2: killing the preferred owner moves the read to the
+// co-owner, killing that too lands it on the router's local service —
+// every answer bit-identical to the first.
 func TestFailoverToLocalSolve(t *testing.T) {
 	rt, gw, replicas := newCluster(t, 2)
 	instance := readTestdata(t, "mixed6.json")
@@ -208,41 +210,68 @@ func TestFailoverToLocalSolve(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Kill the owner mid-run.
+	// sameAnswer requires a later response to carry the first one's hash,
+	// value, and schedule, whatever served it.
+	sameAnswer := func(stage string, raw []byte) {
+		t.Helper()
+		var got planWire
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Hash != first.Hash || !got.Value.Equal(first.Value) {
+			t.Errorf("%s answer %s/%s differs from the owner's %s/%s",
+				stage, got.Hash, got.Value, first.Hash, first.Value)
+		}
+		var a, b any
+		json.Unmarshal(first.Schedule, &a)
+		json.Unmarshal(got.Schedule, &b)
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("%s schedule differs from the owner's", stage)
+		}
+	}
+
+	// Kill the preferred owner mid-run: the read must fail over to the
+	// co-owner (a live replica, R=2), not to the local service yet.
 	for _, rep := range replicas {
 		if rep.ts.URL == owner {
 			rep.ts.CloseClientConnections()
 			rep.ts.Close()
 		}
 	}
-
 	resp2 := post(t, gw.URL+"/v1/plan", body)
 	secondBytes, _ := io.ReadAll(resp2.Body)
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("failover status %d", resp2.StatusCode)
+		t.Fatalf("replica failover status %d", resp2.StatusCode)
 	}
-	if by := resp2.Header.Get("X-Filterd-Served-By"); by != "local-failover" {
+	by := resp2.Header.Get("X-Filterd-Served-By")
+	if !strings.HasPrefix(by, "http") || by == owner {
+		t.Fatalf("served by %q, want the surviving co-owner", by)
+	}
+	sameAnswer("replica failover", secondBytes)
+	if st := rt.Stats(); st.ReplicaFailovers == 0 {
+		t.Errorf("no replica failover counted: %+v", st)
+	}
+
+	// Kill the co-owner too: only the local service is left.
+	for _, rep := range replicas {
+		rep.ts.CloseClientConnections()
+		rep.ts.Close()
+	}
+	resp3 := post(t, gw.URL+"/v1/plan", body)
+	thirdBytes, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("local failover status %d", resp3.StatusCode)
+	}
+	if by := resp3.Header.Get("X-Filterd-Served-By"); by != "local-failover" {
 		t.Fatalf("served by %q, want local-failover", by)
 	}
-	var second planWire
-	if err := json.Unmarshal(secondBytes, &second); err != nil {
-		t.Fatal(err)
-	}
-	if second.Hash != first.Hash || !second.Value.Equal(first.Value) {
-		t.Errorf("failover answer %s/%s differs from the owner's %s/%s",
-			second.Hash, second.Value, first.Hash, first.Value)
-	}
-	var a, b any
-	json.Unmarshal(first.Schedule, &a)
-	json.Unmarshal(second.Schedule, &b)
-	aj, _ := json.Marshal(a)
-	bj, _ := json.Marshal(b)
-	if string(aj) != string(bj) {
-		t.Error("failover schedule differs from the owner's")
-	}
+	sameAnswer("local failover", thirdBytes)
 	if st := rt.Stats(); st.Failovers == 0 {
-		t.Errorf("no failover counted: %+v", st)
+		t.Errorf("no local failover counted: %+v", st)
 	}
 }
 

@@ -5,6 +5,8 @@ package cluster
 // peer's base URL; breaker positions are mirrored into gauges at scrape
 // time so the breaker itself stays the single source of truth.
 
+import "strconv"
+
 // initMetrics registers the router families into rt.metrics. Called once
 // from New, before the health loop starts.
 func (rt *Router) initMetrics() {
@@ -22,9 +24,20 @@ func (rt *Router) initMetrics() {
 	rt.mForwardSeconds = m.Histogram("filterd_router_forward_seconds",
 		"Latency of committed forwards in seconds.", nil)
 
+	rt.mFanoutWrites = m.CounterVec("filterd_router_fanout_writes_total",
+		"Secondary write copies fanned to co-owners, by peer.", "peer")
+	rt.mShardReplicas = m.GaugeVec("filterd_router_shards_by_replication",
+		"Shards whose currently available owner count equals the factor label.", "factor")
+
 	m.CounterFunc("filterd_router_local_served_total",
 		"Requests answered by the embedded service (owned locally, unroutable, or failovers).",
 		func() float64 { return float64(rt.localServed.Load()) })
+	m.CounterFunc("filterd_router_replica_failovers_total",
+		"Reads served by a non-preferred owner after an earlier owner failed.",
+		func() float64 { return float64(rt.replicaFailovers.Load()) })
+	m.CounterFunc("filterd_router_fanout_errors_total",
+		"Failed secondary write copies (tolerated; gossip converges the owner).",
+		func() float64 { return float64(rt.fanoutErrors.Load()) })
 	m.GaugeFunc("filterd_router_peers",
 		"Configured replicas.", func() float64 { return float64(len(rt.peers)) })
 	m.GaugeFunc("filterd_router_peers_up",
@@ -32,11 +45,33 @@ func (rt *Router) initMetrics() {
 		func() float64 { return float64(rt.Stats().PeersUp) })
 	m.GaugeFunc("filterd_router_shards",
 		"Shard count 2^ShardBits.", func() float64 { return float64(int(1) << rt.cfg.ShardBits) })
+	m.GaugeFunc("filterd_router_replicas",
+		"Configured owners per shard (R).", func() float64 { return float64(rt.cfg.Replicas) })
+	m.GaugeFunc("filterd_router_underreplicated_shards",
+		"Shards with fewer than R owners currently available.",
+		func() float64 { return float64(rt.Stats().UnderReplicated) })
 
 	m.OnScrape(func() {
 		for _, p := range rt.peers {
 			rt.mBreakerState.With(p.url).Set(float64(p.breaker.State()))
 			rt.mBreakerOpens.With(p.url).Set(p.breaker.Opens())
+		}
+		// Per-shard replication factor, summarized as shard counts per
+		// available-owner count (owner availability depends only on
+		// shard mod len(peers), so the residues cover every shard).
+		shards := 1 << rt.cfg.ShardBits
+		byFactor := make(map[int]int, rt.cfg.Replicas+1)
+		for shard := 0; shard < shards; shard++ {
+			up := 0
+			for _, p := range rt.ownersOf(shard) {
+				if p.available() {
+					up++
+				}
+			}
+			byFactor[up]++
+		}
+		for f := 0; f <= rt.cfg.Replicas; f++ {
+			rt.mShardReplicas.With(strconv.Itoa(f)).Set(float64(byFactor[f]))
 		}
 	})
 }

@@ -39,8 +39,11 @@ func newTracedCluster(t *testing.T, n int) (*httptest.Server, []*replica, []*obs
 	t.Cleanup(local.Close)
 	routerTracer := obs.NewTracer(64)
 	rt, err := New(Config{
-		Peers:          peers,
-		Local:          local,
+		Peers: peers,
+		Local: local,
+		// R=1 keeps a single owner per shard, so killing it exercises the
+		// local-failover span path these tests pin down.
+		Replicas:       1,
 		HealthInterval: 100 * time.Millisecond,
 		Tracer:         routerTracer,
 	})

@@ -1,0 +1,121 @@
+package exec
+
+// The client's 429/503 discipline: Retry-After is honored (bounded,
+// jittered), a shedding service is retried in place, and exhaustion
+// surfaces as ErrUpstreamBusy — the marker the controller uses to defer
+// a drift PATCH to the next measurement round instead of failing the
+// run.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryWaitHonorsRetryAfter: the advertised seconds win over the
+// ladder, are capped at maxRetryWait, and malformed headers fall back to
+// the doubling ladder. Jitter adds strictly less than 100ms.
+func TestRetryWaitHonorsRetryAfter(t *testing.T) {
+	cases := []struct {
+		header  string
+		attempt int
+		min     time.Duration
+	}{
+		{"2", 0, 2 * time.Second},                   // advertised wait
+		{"9999", 0, maxRetryWait},                   // capped
+		{"", 0, 100 * time.Millisecond},             // ladder base
+		{"", 2, 400 * time.Millisecond},             // ladder doubles
+		{"not-a-number", 1, 200 * time.Millisecond}, // malformed → ladder
+	}
+	for _, tc := range cases {
+		got := retryWait(tc.header, tc.attempt)
+		if got < tc.min || got >= tc.min+100*time.Millisecond {
+			t.Errorf("retryWait(%q, %d) = %v, want [%v, %v)",
+				tc.header, tc.attempt, got, tc.min, tc.min+100*time.Millisecond)
+		}
+	}
+}
+
+// TestDoRetriesThroughBackpressure: a service shedding two requests and
+// then answering yields a success — the client absorbed the 429s.
+func TestDoRetriesThroughBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shedding", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok": true}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.do(context.Background(), http.MethodPost, "/v1/plan", struct{}{}, "rid", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK {
+		t.Error("decoded response lost")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (two shed, one served)", n)
+	}
+}
+
+// TestDoExhaustionIsUpstreamBusy: a service that never stops shedding
+// fails the call with ErrUpstreamBusy after the bounded retries — not a
+// generic error, so the caller can hold state and re-issue later.
+func TestDoExhaustionIsUpstreamBusy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	err := c.do(context.Background(), http.MethodPatch, "/v1/instance/x", struct{}{}, "rid", &struct{}{})
+	if err == nil {
+		t.Fatal("exhausted backoff returned nil")
+	}
+	if !errors.Is(err, ErrUpstreamBusy) {
+		t.Fatalf("err %v does not wrap ErrUpstreamBusy", err)
+	}
+	if n := calls.Load(); n != int64(busyRetries)+1 {
+		t.Errorf("server saw %d calls, want %d", n, busyRetries+1)
+	}
+}
+
+// TestDoBackoffRespectsContext: a context canceled mid-backoff aborts
+// the wait instead of sleeping it out.
+func TestDoBackoffRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "shedding", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	c := &Client{BaseURL: ts.URL}
+	start := time.Now()
+	err := c.do(ctx, http.MethodPost, "/v1/plan", struct{}{}, "rid", &struct{}{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v — the 30s Retry-After was slept out", elapsed)
+	}
+}

@@ -14,12 +14,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -291,33 +293,93 @@ func (c *Client) consumeStream(ctx context.Context, hash string, lastID *uint64,
 	return io.EOF
 }
 
-// do executes one JSON request/response round trip.
+// ErrUpstreamBusy marks a request that kept answering 429/503 through
+// every Retry-After backoff attempt — the service is shedding load or
+// draining, not broken, so callers should hold their state and retry the
+// operation on their own schedule (the executor's controller re-issues
+// the PATCH next measurement round).
+var ErrUpstreamBusy = errors.New("exec: upstream busy")
+
+// busyRetries bounds the in-call retries of a 429/503 answer;
+// maxRetryWait caps one backoff sleep however large the advertised
+// Retry-After is.
+const (
+	busyRetries  = 3
+	maxRetryWait = 5 * time.Second
+)
+
+// busySeq spreads the jitter of concurrent backoffs (see retryWait).
+var busySeq atomic.Int64
+
+// retryWait resolves one 429/503 backoff: the server's Retry-After
+// seconds when parseable, otherwise a doubling ladder from 100ms; capped
+// at maxRetryWait; plus a small deterministic jitter stepped per backoff
+// process-wide, so the coordinated clients released by one shed burst do
+// not re-converge on the same instant.
+func retryWait(header string, attempt int) time.Duration {
+	d := (100 * time.Millisecond) << attempt
+	if header != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > maxRetryWait {
+		d = maxRetryWait
+	}
+	return d + time.Duration(busySeq.Add(1)*37%100)*time.Millisecond
+}
+
+// do executes one JSON request/response round trip. A 429 or 503 answer
+// is retried in place up to busyRetries times, honoring the Retry-After
+// header (bounded, jittered); exhaustion fails with ErrUpstreamBusy so
+// the caller can distinguish backpressure from breakage.
 func (c *Client) do(ctx context.Context, method, path string, body any, requestID string, into any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("exec: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(raw))
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if requestID != "" {
+			req.Header.Set(obs.HeaderRequestID, requestID)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			if attempt >= busyRetries {
+				return fmt.Errorf("%w: %s %s: status %d after %d backoffs: %s",
+					ErrUpstreamBusy, method, path, resp.StatusCode, attempt, strings.TrimSpace(string(b)))
+			}
+			d := retryWait(resp.Header.Get("Retry-After"), attempt)
+			c.logger().Warn("exec.backoff", "method", method, "path", path,
+				"status", resp.StatusCode, "wait", d, "request_id", requestID)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("exec: %s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+		err = json.NewDecoder(resp.Body).Decode(into)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("exec: decoding %s %s response: %w", method, path, err)
+		}
+		return nil
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if requestID != "" {
-		req.Header.Set(obs.HeaderRequestID, requestID)
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("exec: %s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(b)))
-	}
-	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
-		return fmt.Errorf("exec: decoding %s %s response: %w", method, path, err)
-	}
-	return nil
 }
 
 // assemble turns a wire plan plus the instance it was computed from into

@@ -27,6 +27,7 @@ package exec
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -695,6 +696,18 @@ func (e *Executor) controller(ctx context.Context, report *Report, tuple uint64,
 	p, err := e.cfg.Planner.Drift(ctx, e.plan.Hash, e.plan.App, updates, e.cfg.RequestID)
 	if err != nil {
 		span.SetError(err.Error())
+		if errors.Is(err, ErrUpstreamBusy) {
+			// The service shed the PATCH even after the client's bounded
+			// backoff. The estimators keep their samples, so the drift is
+			// still visible next measurement round — retry then rather
+			// than failing the whole run over load shedding.
+			span.End(503)
+			logger.Warn("exec.drift.deferred", "hash", e.plan.Hash, "err", err)
+			if e.m != nil {
+				e.m.driftDeferred.Inc()
+			}
+			return false, nil
+		}
 		span.End(500)
 		return false, fmt.Errorf("exec: drift patch on %s: %w", e.plan.Hash, err)
 	}

@@ -11,14 +11,15 @@ import (
 
 // execMetrics bundles the executor's instruments.
 type execMetrics struct {
-	tuples     *metrics.Counter
-	emitted    *metrics.Counter
-	rounds     *metrics.Counter
-	patches    *metrics.Counter
-	replans    *metrics.Counter
-	swaps      *metrics.Counter
-	throughput *metrics.Gauge
-	occupancy  *metrics.GaugeVec
+	tuples        *metrics.Counter
+	emitted       *metrics.Counter
+	rounds        *metrics.Counter
+	patches       *metrics.Counter
+	replans       *metrics.Counter
+	driftDeferred *metrics.Counter
+	swaps         *metrics.Counter
+	throughput    *metrics.Gauge
+	occupancy     *metrics.GaugeVec
 }
 
 // newExecMetrics registers the filterexec_* instruments on r. The
@@ -36,6 +37,8 @@ func newExecMetrics(r *metrics.Registry) *execMetrics {
 			"Drift PATCHes issued by the controller."),
 		replans: r.Counter("filterexec_replan_events_total",
 			"Externally triggered re-plans adopted from the subscription stream."),
+		driftDeferred: r.Counter("filterexec_drift_deferred_total",
+			"Drift PATCHes deferred to the next round because filterd shed load."),
 		swaps: r.Counter("filterexec_schedule_swaps_total",
 			"Schedule hot swaps (controller PATCHes plus adopted re-plans)."),
 		throughput: r.Gauge("filterexec_throughput_tuples_per_second",

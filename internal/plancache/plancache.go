@@ -172,6 +172,32 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Keys returns the keys of every completed entry, most recently used
+// first (the LRU order) — the digest the cluster sync layer advertises to
+// its peers. Recency is not touched.
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[V]).key)
+	}
+	return keys
+}
+
+// Peek returns the cached value for key without counting a hit or
+// refreshing recency — reads on behalf of a peer (the sync export path)
+// must not distort the local LRU.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.elem != nil {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Remove drops key from the cache if present and completed (an in-flight
 // entry stays; its waiters hold it). It reports whether an entry was
 // removed.

@@ -150,6 +150,48 @@ func TestBreakerConcurrentUse(t *testing.T) {
 	wg.Wait()
 }
 
+// TestBreakerHalfOpenProbeRace: two goroutines racing Allow on a
+// breaker whose cooldown just elapsed must admit EXACTLY one — the
+// half-open probe slot is single-occupancy under contention, not just
+// sequentially. Run with -race; the assertion holds for any number of
+// racers.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		b, clock := newTestBreaker(1, time.Minute)
+		b.Failure() // open
+		clock.advance(time.Minute)
+
+		const racers = 8
+		var start, done sync.WaitGroup
+		admitted := make(chan bool, racers)
+		start.Add(1)
+		done.Add(racers)
+		for i := 0; i < racers; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait() // maximize the collision window
+				admitted <- b.Allow()
+			}()
+		}
+		start.Done()
+		done.Wait()
+		close(admitted)
+
+		n := 0
+		for ok := range admitted {
+			if ok {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("round %d: %d racers took the half-open probe slot, want exactly 1", round, n)
+		}
+		if got := b.State(); got != HalfOpen {
+			t.Fatalf("round %d: state %v, want half-open", round, got)
+		}
+	}
+}
+
 func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
 	calls := 0
 	err := Retry(context.Background(), 3, time.Microsecond, func() error {

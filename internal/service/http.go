@@ -224,10 +224,19 @@ type statsJSON struct {
 	Pending    int   `json:"pending"`
 	MaxPending int   `json:"max_pending"`
 	// Persistence (internal/store) and drift-subscription counters.
-	Persistent      bool  `json:"persistent"`
-	StoreWrites     int64 `json:"store_writes,omitempty"`
-	StoreLoaded     int64 `json:"store_loaded,omitempty"`
-	StoreSkipped    int64 `json:"store_skipped,omitempty"`
+	Persistent       bool  `json:"persistent"`
+	StoreWrites      int64 `json:"store_writes,omitempty"`
+	StoreLoaded      int64 `json:"store_loaded,omitempty"`
+	StoreSkipped     int64 `json:"store_skipped,omitempty"`
+	StoreQuarantined int64 `json:"store_quarantined,omitempty"`
+	// Replica-sync counters (/v1/sync, the anti-entropy merge traffic).
+	SyncInstances   int64 `json:"sync_instances"`
+	SyncEntries     int64 `json:"sync_entries"`
+	SyncDuplicates  int64 `json:"sync_duplicates"`
+	SyncRejected    int64 `json:"sync_rejected"`
+	SyncConflicts   int64 `json:"sync_conflicts"`
+	SyncBytesIn     int64 `json:"sync_bytes_in"`
+	SyncBytesOut    int64 `json:"sync_bytes_out"`
 	Subscribers     int   `json:"subscribers"`
 	EventsPublished int64 `json:"events_published"`
 	EventsDropped   int64 `json:"events_dropped"`
@@ -647,6 +656,20 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, healthzJSON{Status: "ok", Version: s.version, Revision: s.revision})
 	}))
 
+	// Replica synchronization (sync.go): GET answers the digest, POST one
+	// push-pull exchange. The anti-entropy loop of internal/cluster drives
+	// both; a newly (re)joined owner converges by iterating exchanges.
+	mux.HandleFunc("GET /v1/sync", s.instrument("sync", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.SyncDigest())
+	}))
+	mux.HandleFunc("POST /v1/sync", s.instrument("sync", func(w http.ResponseWriter, r *http.Request) {
+		var doc SyncRequest
+		if !decodeBody(w, r, &doc) {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.SyncExchange(doc))
+	}))
+
 	// The span ring: always mounted (it answers "enabled": false when
 	// tracing is off), so probing the endpoint needs no special-casing.
 	mux.Handle("GET /debug/requests", s.tracer.Handler())
@@ -654,40 +677,48 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		writeJSON(w, http.StatusOK, statsJSON{
-			CacheHits:       st.Cache.Hits,
-			CacheMisses:     st.Cache.Misses,
-			CacheCoalesced:  st.Cache.Coalesced,
-			CacheEvictions:  st.Cache.Evictions,
-			CacheLen:        st.Cache.Len,
-			CacheCap:        st.Cache.Cap,
-			InFlight:        st.Cache.InFlight,
-			PlanRequests:    st.PlanRequests,
-			DriftRequests:   st.DriftRequests,
-			Rejected:        st.Rejected,
-			Solves:          st.Solves,
-			Registered:      st.Registered,
-			QueueDepth:      st.QueueDepth,
-			Workers:         st.Workers,
-			Persistent:      st.Persistent,
-			StoreWrites:     st.Store.Writes,
-			StoreLoaded:     st.Store.Loaded,
-			StoreSkipped:    st.Store.Skipped,
-			Subscribers:     st.Subscribers,
-			EventsPublished: st.EventsPublished,
-			EventsDropped:   st.EventsDropped,
-			MemoHits:        st.MemoHits,
-			MemoMisses:      st.MemoMisses,
-			MemoLen:         st.MemoLen,
-			MemoEvictions:   st.MemoEvictions,
-			Shed:            st.Shed,
-			Pending:         st.Pending,
-			MaxPending:      st.MaxPending,
-			CacheSeeded:     st.Cache.Seeded,
-			SolverExpanded:  st.SolverExpanded,
-			SolverPruned:    st.SolverPruned,
-			SolverEvaluated: st.SolverEvaluated,
-			Version:         st.Version,
-			Revision:        st.Revision,
+			CacheHits:        st.Cache.Hits,
+			CacheMisses:      st.Cache.Misses,
+			CacheCoalesced:   st.Cache.Coalesced,
+			CacheEvictions:   st.Cache.Evictions,
+			CacheLen:         st.Cache.Len,
+			CacheCap:         st.Cache.Cap,
+			InFlight:         st.Cache.InFlight,
+			PlanRequests:     st.PlanRequests,
+			DriftRequests:    st.DriftRequests,
+			Rejected:         st.Rejected,
+			Solves:           st.Solves,
+			Registered:       st.Registered,
+			QueueDepth:       st.QueueDepth,
+			Workers:          st.Workers,
+			Persistent:       st.Persistent,
+			StoreWrites:      st.Store.Writes,
+			StoreLoaded:      st.Store.Loaded,
+			StoreSkipped:     st.Store.Skipped,
+			StoreQuarantined: st.Store.Quarantined,
+			SyncInstances:    st.Sync.AcceptedInstances,
+			SyncEntries:      st.Sync.AcceptedEntries,
+			SyncDuplicates:   st.Sync.Duplicates,
+			SyncRejected:     st.Sync.Rejected,
+			SyncConflicts:    st.Sync.Conflicts,
+			SyncBytesIn:      st.Sync.BytesIn,
+			SyncBytesOut:     st.Sync.BytesOut,
+			Subscribers:      st.Subscribers,
+			EventsPublished:  st.EventsPublished,
+			EventsDropped:    st.EventsDropped,
+			MemoHits:         st.MemoHits,
+			MemoMisses:       st.MemoMisses,
+			MemoLen:          st.MemoLen,
+			MemoEvictions:    st.MemoEvictions,
+			Shed:             st.Shed,
+			Pending:          st.Pending,
+			MaxPending:       st.MaxPending,
+			CacheSeeded:      st.Cache.Seeded,
+			SolverExpanded:   st.SolverExpanded,
+			SolverPruned:     st.SolverPruned,
+			SolverEvaluated:  st.SolverEvaluated,
+			Version:          st.Version,
+			Revision:         st.Revision,
 		})
 	}))
 

@@ -124,7 +124,37 @@ func (s *Server) initMetrics() {
 		m.CounterFunc("filterd_store_write_errors_total",
 			"Failed persistence attempts (requests unaffected).",
 			func() float64 { return float64(s.cfg.Store.Stats().WriteErrors) })
+		m.CounterFunc("filterd_store_quarantined_total",
+			"Corrupt entry files renamed .bad at warm-load instead of aborting startup.",
+			func() float64 { return float64(s.cfg.Store.Stats().Quarantined) })
 	}
+
+	// Replica synchronization (/v1/sync): the anti-entropy merge traffic.
+	syncAccepted := m.CounterVec("filterd_sync_accepted_total",
+		"Items merged from peers via /v1/sync, by kind.", "kind")
+	mSyncInst := syncAccepted.With("instances")
+	mSyncEnt := syncAccepted.With("entries")
+	m.OnScrape(func() {
+		mSyncInst.Set(s.syncAcceptedInstances.Load())
+		mSyncEnt.Set(s.syncAcceptedEntries.Load())
+	})
+	m.CounterFunc("filterd_sync_duplicates_total",
+		"Sync imports already present locally.",
+		func() float64 { return float64(s.syncDuplicates.Load()) })
+	m.CounterFunc("filterd_sync_rejected_total",
+		"Sync imports that failed verification (decode or hash mismatch).",
+		func() float64 { return float64(s.syncRejected.Load()) })
+	m.CounterFunc("filterd_sync_conflicts_total",
+		"Sync imports whose key exists locally with a different solution — determinism violations.",
+		func() float64 { return float64(s.syncConflicts.Load()) })
+	syncBytes := m.CounterVec("filterd_sync_bytes_total",
+		"Store-codec entry bytes streamed via /v1/sync, by direction.", "direction")
+	mSyncIn := syncBytes.With("in")
+	mSyncOut := syncBytes.With("out")
+	m.OnScrape(func() {
+		mSyncIn.Set(s.syncBytesIn.Load())
+		mSyncOut.Set(s.syncBytesOut.Load())
+	})
 }
 
 // Metrics returns the server's registry — cmd/filterd shares it with the

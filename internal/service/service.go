@@ -251,6 +251,8 @@ type Stats struct {
 	// counters (zero value otherwise).
 	Persistent bool
 	Store      store.Stats
+	// Sync counts the replica-to-replica /v1/sync merges (anti-entropy).
+	Sync SyncStats
 	// Subscribers counts the currently open drift subscriptions;
 	// EventsPublished the re-plan events delivered to them;
 	// EventsDropped the events lost to full subscriber buffers.
@@ -350,6 +352,16 @@ type Server struct {
 	nodesExpanded atomic.Int64
 	nodesPruned   atomic.Int64
 	candEvaluated atomic.Int64
+
+	// Replica-sync counters (sync.go): the /v1/sync merge traffic of the
+	// anti-entropy loop.
+	syncAcceptedInstances atomic.Int64
+	syncAcceptedEntries   atomic.Int64
+	syncDuplicates        atomic.Int64
+	syncRejected          atomic.Int64
+	syncConflicts         atomic.Int64
+	syncBytesIn           atomic.Int64
+	syncBytesOut          atomic.Int64
 
 	// Observability spine: the span tracer (may be nil — every use is
 	// nil-safe), the structured logger (never nil after New), the per-hash
@@ -948,6 +960,7 @@ func (s *Server) Stats() Stats {
 		SolverExpanded:  s.nodesExpanded.Load(),
 		SolverPruned:    s.nodesPruned.Load(),
 		SolverEvaluated: s.candEvaluated.Load(),
+		Sync:            s.SyncStats(),
 		Version:         s.version,
 		Revision:        s.revision,
 	}

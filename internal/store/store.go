@@ -25,12 +25,29 @@
 // Writes go to a temporary file in the same directory, are fsynced, and
 // renamed over the final name — a crash mid-write leaves either the old
 // entry or a .tmp file the next load ignores, never a torn entry.
+//
+// # Quarantine
+//
+// A file that does decode-fail at load — torn by a crash that beat the
+// rename discipline, truncated by a failing disk, hash-mismatched by bit
+// rot — is quarantined: renamed aside with a ".bad" suffix and counted,
+// so the rest of the directory warm-loads and the next startup does not
+// trip over the same corpse. Quarantine never aborts a load; losing one
+// entry costs one re-solve, losing the startup costs every entry.
+//
+// # Replication
+//
+// Encode and Decode expose the entry codec to the cluster's sync layer:
+// POST /v1/sync streams entries between shard co-owners in exactly the
+// bytes this package persists, so a plan solved (or PATCHed) on one
+// replica warm-loads on its peers without a second serialization format.
 package store
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -84,9 +101,21 @@ type Stats struct {
 	WriteErrors int64
 	// Loaded counts entries warm-loaded by the last Load call; Skipped
 	// the files Load rejected (wrong version, hash mismatch, decode
-	// error).
-	Loaded  int64
-	Skipped int64
+	// error). Quarantined counts the rejected files Load renamed aside
+	// with a ".bad" suffix (every Skipped file except other-version
+	// entries, which are preserved in place for the codec that wrote
+	// them).
+	Loaded      int64
+	Skipped     int64
+	Quarantined int64
+}
+
+// Hooks intercepts entry I/O — the store-side fault-injection seam
+// (internal/faults implements it). Nil hooks inject nothing.
+type Hooks interface {
+	// BeforeWrite sees every entry payload before it reaches the disk;
+	// it may rewrite (tear) the data or fail the write.
+	BeforeWrite(name string, data []byte) ([]byte, error)
 }
 
 // Store is a directory of persisted plans. Create with Open; methods are
@@ -96,6 +125,7 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+	hooks Hooks
 }
 
 // Open creates the directory if needed and returns the store.
@@ -111,6 +141,11 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetHooks installs (or clears, with nil) the I/O fault hooks. Call
+// before the store is shared; the field is read unsynchronized on the
+// write path.
+func (s *Store) SetHooks(h Hooks) { s.hooks = h }
 
 // entryJSON is the versioned serialization of one Entry.
 type entryJSON struct {
@@ -247,16 +282,35 @@ func (s *Store) Put(e Entry) error {
 }
 
 func (s *Store) put(e Entry) error {
+	data, err := Encode(e)
+	if err != nil {
+		return err
+	}
+	name := fileName(e.Key)
+	if s.hooks != nil {
+		// The fault seam: the hook may tear the payload (a torn write
+		// lands on disk and is quarantined by the next Load) or fail the
+		// write outright.
+		if data, err = s.hooks.BeforeWrite(name, data); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return s.writeAtomic(name, data)
+}
+
+// Encode serializes one entry in the on-disk (and on-wire /v1/sync)
+// codec.
+func Encode(e Entry) ([]byte, error) {
 	if e.Instance == nil || e.Solution.Graph == nil || e.Solution.Sched.List == nil {
-		return fmt.Errorf("store: incomplete entry for key %q", e.Key)
+		return nil, fmt.Errorf("store: incomplete entry for key %q", e.Key)
 	}
 	instData, err := json.Marshal(e.Instance.App())
 	if err != nil {
-		return fmt.Errorf("store: encoding instance: %w", err)
+		return nil, fmt.Errorf("store: encoding instance: %w", err)
 	}
 	schedData, err := json.Marshal(e.Solution.Sched.List)
 	if err != nil {
-		return fmt.Errorf("store: encoding schedule: %w", err)
+		return nil, fmt.Errorf("store: encoding schedule: %w", err)
 	}
 	doc := entryJSON{
 		Version:         entryVersion,
@@ -275,9 +329,9 @@ func (s *Store) put(e Entry) error {
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
-	return s.writeAtomic(fileName(e.Key), append(data, '\n'))
+	return append(data, '\n'), nil
 }
 
 // writeAtomic writes data to name via a same-directory temp file, fsync
@@ -307,18 +361,31 @@ func (s *Store) writeAtomic(name string, data []byte) error {
 
 // Load decodes every entry in the directory in sorted file order (a
 // deterministic warm-load order) and hands it to fn. Files that fail to
-// decode, carry another codec version, or whose recomputed canonical hash
-// disagrees with the stored key are counted as skipped and never served.
+// decode or whose recomputed canonical hash disagrees with the stored key
+// are counted as skipped, quarantined (renamed aside with a ".bad"
+// suffix, so the next startup does not re-trip over them) and never
+// served; the one exception is an entry carrying another codec version,
+// which is skipped in place — it belongs to the codec that wrote it.
+// A bad entry never aborts the load: the rest of the directory serves.
 func (s *Store) Load(fn func(Entry)) error {
 	names, err := s.entryNames()
 	if err != nil {
 		return err
 	}
-	var loaded, skipped int64
+	var loaded, skipped, quarantined int64
 	for _, name := range names {
-		e, err := s.loadFile(filepath.Join(s.dir, name))
+		path := filepath.Join(s.dir, name)
+		e, err := s.loadFile(path)
 		if err != nil {
 			skipped++
+			if !errors.Is(err, errOtherVersion) {
+				// Best-effort: a rename failure leaves the file for the
+				// next load to skip again; the entry stays unserved
+				// either way.
+				if os.Rename(path, path+".bad") == nil {
+					quarantined++
+				}
+			}
 			continue
 		}
 		loaded++
@@ -327,6 +394,7 @@ func (s *Store) Load(fn func(Entry)) error {
 	s.mu.Lock()
 	s.stats.Loaded = loaded
 	s.stats.Skipped = skipped
+	s.stats.Quarantined = quarantined
 	s.mu.Unlock()
 	return nil
 }
@@ -347,40 +415,55 @@ func (s *Store) entryNames() ([]string, error) {
 	return names, nil
 }
 
-// loadFile reconstructs one entry bit-identical to what Put serialized:
-// the application is re-canonicalized (verifying the content hash), the
-// execution graph rebuilt from its edge list, and the operation list
-// restored through the oplist codec.
+// errOtherVersion marks an entry written by a different codec version —
+// skipped, but never quarantined (it is not corrupt, just not ours).
+var errOtherVersion = errors.New("store: other codec version")
+
+// loadFile reconstructs one entry bit-identical to what Put serialized.
 func (s *Store) loadFile(path string) (Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Entry{}, err
 	}
+	e, err := Decode(data)
+	if err != nil {
+		return Entry{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}
+
+// Decode reconstructs one entry from its Encode bytes: the application is
+// re-canonicalized (verifying the content hash), the execution graph
+// rebuilt from its edge list, and the operation list restored through the
+// oplist codec. An entry whose recomputed hash disagrees with its stored
+// key is rejected — corrupt or forged bytes are never served, on the
+// warm-load path and the /v1/sync import path alike.
+func Decode(data []byte) (Entry, error) {
 	var doc entryJSON
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return Entry{}, fmt.Errorf("store: %s: %w", path, err)
+		return Entry{}, fmt.Errorf("store: %w", err)
 	}
 	if doc.Version != entryVersion {
-		return Entry{}, fmt.Errorf("store: %s: version %q, want %q", path, doc.Version, entryVersion)
+		return Entry{}, fmt.Errorf("%w: %q, want %q", errOtherVersion, doc.Version, entryVersion)
 	}
 	app := new(workflow.App)
 	if err := app.UnmarshalJSON(doc.Instance); err != nil {
-		return Entry{}, fmt.Errorf("store: %s: instance: %w", path, err)
+		return Entry{}, fmt.Errorf("store: instance: %w", err)
 	}
 	inst, err := canon.Canonicalize(app)
 	if err != nil {
-		return Entry{}, fmt.Errorf("store: %s: %w", path, err)
+		return Entry{}, fmt.Errorf("store: %w", err)
 	}
 	if inst.Hash() != doc.Hash || !strings.HasPrefix(doc.Key, doc.Hash) {
-		return Entry{}, fmt.Errorf("store: %s: canonical hash mismatch", path)
+		return Entry{}, fmt.Errorf("store: canonical hash mismatch")
 	}
 	eg, err := plan.Build(inst.App(), doc.Edges)
 	if err != nil {
-		return Entry{}, fmt.Errorf("store: %s: graph: %w", path, err)
+		return Entry{}, fmt.Errorf("store: graph: %w", err)
 	}
 	list, err := oplist.LoadList(eg.Weighted(), doc.Schedule)
 	if err != nil {
-		return Entry{}, fmt.Errorf("store: %s: schedule: %w", path, err)
+		return Entry{}, fmt.Errorf("store: schedule: %w", err)
 	}
 	return Entry{
 		Key:      doc.Key,

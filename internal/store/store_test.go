@@ -157,6 +157,113 @@ func TestLoadSkipsForeignAndCorruptFiles(t *testing.T) {
 	}
 }
 
+// TestLoadQuarantinesCorruptEntry: a corrupted entry is renamed aside
+// with a ".bad" suffix, counted, and gone from the next load's way —
+// while every healthy entry still serves. Wrong-version entries are
+// skipped but left in place (they belong to another codec).
+func TestLoadQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := solvedEntry(t, "webquery8.json")
+	victim := solvedEntry(t, "mixed6.json")
+	if err := s.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the victim in place: truncate it mid-document, the shape a
+	// torn write or failing disk leaves behind.
+	victimPath := filepath.Join(dir, fileName(victim.Key))
+	data, err := os.ReadFile(victimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victimPath, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And one wrong-version file, which must NOT be quarantined.
+	foreignPath := filepath.Join(dir, "foreign"+suffix)
+	if err := os.WriteFile(foreignPath,
+		[]byte(`{"version": "filterd-plan-store/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	if err := s.Load(func(e Entry) { keys = append(keys, e.Key) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != good.Key {
+		t.Fatalf("loaded keys %v, want only the good entry", keys)
+	}
+	if st := s.Stats(); st.Loaded != 1 || st.Skipped != 2 || st.Quarantined != 1 {
+		t.Errorf("stats %+v, want 1 loaded / 2 skipped / 1 quarantined", st)
+	}
+	if _, err := os.Stat(victimPath); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at %s (%v)", victimPath, err)
+	}
+	if _, err := os.Stat(victimPath + ".bad"); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(foreignPath); err != nil {
+		t.Errorf("wrong-version file was moved: %v", err)
+	}
+
+	// The next load no longer trips over the corpse: the .bad file is
+	// not an entry, so nothing is skipped or re-quarantined.
+	if err := s.Load(func(Entry) {}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Loaded != 1 || st.Skipped != 1 || st.Quarantined != 0 {
+		t.Errorf("second load stats %+v, want 1 loaded / 1 skipped (foreign) / 0 quarantined", st)
+	}
+}
+
+// TestWriteHooksInjectFailures: an installed hook can fail a write (the
+// error surfaces, WriteErrors counts) or tear the payload (the torn
+// entry lands on disk and the next load quarantines it).
+func TestWriteHooksInjectFailures(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := solvedEntry(t, "mixed6.json")
+
+	s.SetHooks(hookFunc(func(name string, data []byte) ([]byte, error) {
+		return nil, os.ErrPermission
+	}))
+	if err := s.Put(e); err == nil {
+		t.Fatal("hooked write failure did not surface")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Errorf("WriteErrors %d, want 1", st.WriteErrors)
+	}
+
+	s.SetHooks(hookFunc(func(name string, data []byte) ([]byte, error) {
+		return data[:len(data)/2], nil
+	}))
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	s.SetHooks(nil)
+	if err := s.Load(func(Entry) {}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Loaded != 0 || st.Quarantined != 1 {
+		t.Errorf("stats after torn write %+v, want 0 loaded / 1 quarantined", st)
+	}
+}
+
+// hookFunc adapts a function to the Hooks interface.
+type hookFunc func(name string, data []byte) ([]byte, error)
+
+func (f hookFunc) BeforeWrite(name string, data []byte) ([]byte, error) { return f(name, data) }
+
 // TestFlushAndOpenValidation: Flush succeeds on a live store; Open rejects
 // an empty directory path.
 func TestFlushAndOpenValidation(t *testing.T) {

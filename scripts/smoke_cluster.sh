@@ -34,7 +34,10 @@ go build -o "$BIN/filterplan" ./cmd/filterplan
 REP1_PID=$!
 "$BIN/filterd" -addr "127.0.0.1:$REP2_PORT" -workers 1 &
 REP2_PID=$!
-"$BIN/filterd" -addr "127.0.0.1:$ROUTER_PORT" -workers 1 \
+# -replicas 1 pins a single owner per shard, so killing it exercises the
+# local-failover path this smoke is about; the replicated R=2 ladder
+# (co-owner serves, zero 5xx) is scripts/smoke_chaos.sh's story.
+"$BIN/filterd" -addr "127.0.0.1:$ROUTER_PORT" -workers 1 -replicas 1 \
     -peers "http://127.0.0.1:$REP1_PORT,http://127.0.0.1:$REP2_PORT" &
 ROUTER_PID=$!
 
